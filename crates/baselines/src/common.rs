@@ -1,0 +1,84 @@
+//! Shared plumbing for the baseline Tucker methods.
+
+use dtucker_core::error::{CoreError, Result};
+use dtucker_core::trace::ConvergenceTrace;
+use dtucker_core::tucker::TuckerDecomp;
+use dtucker_linalg::matrix::Matrix;
+use dtucker_linalg::qr::orthonormalize;
+use dtucker_linalg::random::gaussian_matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Common result shape for every baseline.
+#[derive(Debug, Clone)]
+pub struct MethodOutput {
+    /// The decomposition.
+    pub decomposition: TuckerDecomp,
+    /// Convergence record (single entry for one-shot methods).
+    pub trace: ConvergenceTrace,
+}
+
+/// Validates a ranks vector against a tensor shape.
+pub fn validate_ranks(shape: &[usize], ranks: &[usize]) -> Result<()> {
+    if ranks.len() != shape.len() {
+        return Err(CoreError::InvalidConfig {
+            details: format!("{} ranks for an order-{} tensor", ranks.len(), shape.len()),
+        });
+    }
+    for (n, (&j, &i)) in ranks.iter().zip(shape.iter()).enumerate() {
+        if j == 0 || j > i {
+            return Err(CoreError::InvalidConfig {
+                details: format!("rank {j} invalid for mode {n} of dimensionality {i}"),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Random orthonormal factor matrices, seeded.
+pub fn random_factors(shape: &[usize], ranks: &[usize], seed: u64) -> Vec<Matrix> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    shape
+        .iter()
+        .zip(ranks.iter())
+        .map(|(&i, &j)| orthonormalize(&gaussian_matrix(i, j, &mut rng)))
+        .collect()
+}
+
+/// The standard fit indicator `sqrt(max(‖X‖² − ‖G‖², 0))/‖X‖`.
+pub fn fit_indicator(norm_x_sq: f64, core_norm_sq: f64) -> f64 {
+    let nx = norm_x_sq.max(f64::MIN_POSITIVE);
+    (nx - core_norm_sq).max(0.0).sqrt() / nx.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_ranks_cases() {
+        assert!(validate_ranks(&[10, 8], &[3, 2]).is_ok());
+        assert!(validate_ranks(&[10, 8], &[3]).is_err());
+        assert!(validate_ranks(&[10, 8], &[0, 2]).is_err());
+        assert!(validate_ranks(&[10, 8], &[11, 2]).is_err());
+    }
+
+    #[test]
+    fn random_factors_orthonormal_and_seeded() {
+        let f1 = random_factors(&[12, 9], &[3, 2], 5);
+        let f2 = random_factors(&[12, 9], &[3, 2], 5);
+        assert_eq!(f1[0], f2[0]);
+        for f in &f1 {
+            assert!(f.has_orthonormal_cols(1e-9));
+        }
+        assert_eq!(f1[0].shape(), (12, 3));
+    }
+
+    #[test]
+    fn fit_indicator_bounds() {
+        assert_eq!(fit_indicator(4.0, 4.0), 0.0);
+        assert!((fit_indicator(4.0, 0.0) - 1.0).abs() < 1e-12);
+        // Numerical overshoot clamps to zero.
+        assert_eq!(fit_indicator(4.0, 4.1), 0.0);
+    }
+}

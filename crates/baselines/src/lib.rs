@@ -1,0 +1,35 @@
+//! # dtucker-baselines
+//!
+//! The comparison methods from the D-Tucker evaluation, implemented from
+//! scratch on the same substrates as D-Tucker itself:
+//!
+//! * [`hooi`] — Tucker-ALS / HOOI (the exact reference);
+//! * [`hosvd`] — truncated HOSVD and ST-HOSVD;
+//! * [`mach`] — MACH: element-wise sparsification + ALS on the sample
+//!   (Tsourakakis 2010);
+//! * [`rtd`] — randomized Tucker decomposition (Che & Wei 2019);
+//! * [`tucker_ts`] / [`tucker_ttmts`] — TensorSketch methods
+//!   (Malik & Becker 2018).
+//!
+//! Every method returns a [`common::MethodOutput`] holding a
+//! `dtucker_core::TuckerDecomp` plus its convergence trace, so the
+//! experiment harness can treat all methods uniformly.
+
+#![warn(missing_docs)]
+#![allow(clippy::needless_range_loop)]
+
+pub mod common;
+pub mod hooi;
+pub mod hosvd;
+pub mod mach;
+pub mod rtd;
+pub mod tucker_ts;
+pub mod tucker_ttmts;
+
+pub use common::MethodOutput;
+pub use hooi::{hooi, HooiConfig, HooiInit};
+pub use hosvd::{hosvd, st_hosvd};
+pub use mach::{mach, MachConfig};
+pub use rtd::{rtd, RtdConfig};
+pub use tucker_ts::{tucker_ts, TuckerTsConfig};
+pub use tucker_ttmts::tucker_ttmts;

@@ -1,0 +1,185 @@
+//! MACH (Tsourakakis 2010): randomized element-wise sparsification followed
+//! by Tucker-ALS on the (rescaled) sample.
+//!
+//! Each entry is kept with probability `p` and scaled by `1/p`, an unbiased
+//! estimator of the tensor; HOOI then runs with the first n-mode product of
+//! every chain evaluated sparsely in `O(nnz · J)`.
+
+use crate::common::{fit_indicator, random_factors, validate_ranks, MethodOutput};
+use dtucker_core::error::{CoreError, Result};
+use dtucker_core::trace::ConvergenceTrace;
+use dtucker_core::tucker::TuckerDecomp;
+use dtucker_linalg::svd::leading_left_singular_vectors;
+use dtucker_tensor::dense::DenseTensor;
+use dtucker_tensor::sparse::SparseTensor;
+use dtucker_tensor::ttm::ttm_t;
+use dtucker_tensor::unfold::unfold;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// MACH configuration.
+#[derive(Debug, Clone)]
+pub struct MachConfig {
+    /// Target multilinear ranks.
+    pub ranks: Vec<usize>,
+    /// Keep probability `p ∈ (0, 1]`.
+    pub sample_rate: f64,
+    /// Maximum ALS sweeps.
+    pub max_iters: usize,
+    /// Tolerance on the fit-indicator change.
+    pub tolerance: f64,
+    /// RNG seed (sampling and initialization).
+    pub seed: u64,
+}
+
+impl MachConfig {
+    /// Defaults: 10% sampling, 100 sweeps, tolerance `1e-4`.
+    pub fn new(ranks: &[usize]) -> Self {
+        MachConfig {
+            ranks: ranks.to_vec(),
+            sample_rate: 0.1,
+            max_iters: 100,
+            tolerance: 1e-4,
+            seed: 0,
+        }
+    }
+}
+
+/// Sparsifies `x` per MACH. Exposed separately so the space-cost experiment
+/// can account for the preprocessed representation.
+pub fn mach_sample(x: &DenseTensor, cfg: &MachConfig) -> Result<SparseTensor> {
+    if !(0.0..=1.0).contains(&cfg.sample_rate) || cfg.sample_rate == 0.0 {
+        return Err(CoreError::InvalidConfig {
+            details: format!("sample rate {} must be in (0, 1]", cfg.sample_rate),
+        });
+    }
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    Ok(SparseTensor::sample_from_dense(
+        x,
+        cfg.sample_rate,
+        &mut rng,
+    )?)
+}
+
+/// Runs MACH: sample, then HOOI on the sample.
+pub fn mach(x: &DenseTensor, cfg: &MachConfig) -> Result<MethodOutput> {
+    validate_ranks(x.shape(), &cfg.ranks)?;
+    let sample = mach_sample(x, cfg)?;
+    hooi_on_sample(&sample, cfg)
+}
+
+/// HOOI on a pre-sampled sparse tensor.
+pub fn hooi_on_sample(sample: &SparseTensor, cfg: &MachConfig) -> Result<MethodOutput> {
+    validate_ranks(sample.shape(), &cfg.ranks)?;
+    let n_modes = sample.order();
+    let norm_sq = sample.fro_norm_sq();
+    let mut factors = random_factors(sample.shape(), &cfg.ranks, cfg.seed ^ 0x4D41_4348);
+    let mut trace = ConvergenceTrace::default();
+    let mut core: Option<DenseTensor> = None;
+
+    for _sweep in 0..cfg.max_iters.max(1) {
+        for n in 0..n_modes {
+            // Contract one mode sparsely (pick the first k ≠ n), the rest
+            // densely on the already-small intermediate.
+            let first = (0..n_modes).find(|&k| k != n).expect("order ≥ 2");
+            let mut y = sample.ttm_t(&factors[first], first)?;
+            for k in 0..n_modes {
+                if k != n && k != first {
+                    y = ttm_t(&y, &factors[k], k)?;
+                }
+            }
+            factors[n] = leading_left_singular_vectors(&unfold(&y, n)?, cfg.ranks[n])?;
+            if n == n_modes - 1 {
+                core = Some(ttm_t(&y, &factors[n], n)?);
+            }
+        }
+        let g = core.as_ref().expect("core computed");
+        let fit = fit_indicator(norm_sq, g.fro_norm_sq());
+        if trace.record(fit, cfg.tolerance) {
+            break;
+        }
+    }
+    let core = core.expect("at least one sweep");
+    Ok(MethodOutput {
+        decomposition: TuckerDecomp { core, factors },
+        trace,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtucker_tensor::random::low_rank_plus_noise;
+
+    fn noisy(shape: &[usize], ranks: &[usize], noise: f64, seed: u64) -> DenseTensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        low_rank_plus_noise(shape, ranks, noise, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn mach_full_sampling_matches_hooi_accuracy() {
+        let x = noisy(&[14, 12, 10], &[3, 3, 3], 0.0, 1);
+        let mut cfg = MachConfig::new(&[3, 3, 3]);
+        cfg.sample_rate = 1.0;
+        let out = mach(&x, &cfg).unwrap();
+        assert!(out.decomposition.relative_error_sq(&x).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn mach_subsampled_degrades_gracefully() {
+        let x = noisy(&[20, 18, 14], &[3, 3, 3], 0.01, 2);
+        let mut cfg = MachConfig::new(&[3, 3, 3]);
+        cfg.sample_rate = 0.5;
+        let out = mach(&x, &cfg).unwrap();
+        let err = out.decomposition.relative_error_sq(&x).unwrap();
+        // Half the entries: noticeably worse than exact but still a usable
+        // approximation of a strongly low-rank tensor.
+        assert!(err < 0.5, "error {err}");
+        // And full sampling must be better.
+        cfg.sample_rate = 1.0;
+        let full = mach(&x, &cfg)
+            .unwrap()
+            .decomposition
+            .relative_error_sq(&x)
+            .unwrap();
+        assert!(full <= err + 1e-6, "full {full} vs half {err}");
+    }
+
+    #[test]
+    fn mach_validates() {
+        let x = noisy(&[8, 8, 8], &[2, 2, 2], 0.0, 3);
+        let mut cfg = MachConfig::new(&[2, 2, 2]);
+        cfg.sample_rate = 0.0;
+        assert!(mach(&x, &cfg).is_err());
+        cfg.sample_rate = 1.5;
+        assert!(mach(&x, &cfg).is_err());
+        assert!(mach(&x, &MachConfig::new(&[2, 2])).is_err());
+    }
+
+    #[test]
+    fn sample_memory_is_proportional_to_rate() {
+        let x = noisy(&[20, 20, 10], &[2, 2, 2], 0.1, 4);
+        let mut cfg = MachConfig::new(&[2, 2, 2]);
+        cfg.sample_rate = 0.25;
+        let s = mach_sample(&x, &cfg).unwrap();
+        let frac = s.nnz() as f64 / x.numel() as f64;
+        assert!((frac - 0.25).abs() < 0.05, "kept {frac}");
+    }
+
+    #[test]
+    fn mach_deterministic() {
+        let x = noisy(&[10, 9, 8], &[2, 2, 2], 0.05, 5);
+        let cfg = MachConfig::new(&[2, 2, 2]);
+        let a = mach(&x, &cfg)
+            .unwrap()
+            .decomposition
+            .relative_error_sq(&x)
+            .unwrap();
+        let b = mach(&x, &cfg)
+            .unwrap()
+            .decomposition
+            .relative_error_sq(&x)
+            .unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,141 @@
+//! RTD: randomized Tucker decomposition (Che & Wei 2019).
+//!
+//! A one-pass randomized sequentially-truncated HOSVD: for each mode, an
+//! orthonormal basis of the (current, already-projected) unfolding's range
+//! is found with a Gaussian sketch; the leading `Jₙ` directions are
+//! extracted from the small projected matrix and the tensor is shrunk
+//! before the next mode.
+
+use crate::common::{fit_indicator, validate_ranks, MethodOutput};
+use dtucker_core::error::Result;
+use dtucker_core::trace::ConvergenceTrace;
+use dtucker_core::tucker::TuckerDecomp;
+use dtucker_linalg::gemm::{matmul, t_matmul};
+use dtucker_linalg::rsvd::randomized_range_finder;
+use dtucker_linalg::svd::truncated_svd_gram;
+use dtucker_tensor::dense::DenseTensor;
+use dtucker_tensor::ttm::ttm_t;
+use dtucker_tensor::unfold::unfold;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// RTD configuration.
+#[derive(Debug, Clone)]
+pub struct RtdConfig {
+    /// Target multilinear ranks.
+    pub ranks: Vec<usize>,
+    /// Oversampling of the Gaussian range finder.
+    pub oversample: usize,
+    /// Power iterations of the range finder.
+    pub power_iters: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl RtdConfig {
+    /// Defaults: oversampling 5, one power iteration.
+    pub fn new(ranks: &[usize]) -> Self {
+        RtdConfig {
+            ranks: ranks.to_vec(),
+            oversample: 5,
+            power_iters: 1,
+            seed: 0,
+        }
+    }
+}
+
+/// Runs randomized Tucker decomposition.
+pub fn rtd(x: &DenseTensor, cfg: &RtdConfig) -> Result<MethodOutput> {
+    validate_ranks(x.shape(), &cfg.ranks)?;
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut cur = x.clone();
+    let mut factors = Vec::with_capacity(x.order());
+    for n in 0..x.order() {
+        let unf = unfold(&cur, n)?;
+        let j = cfg.ranks[n];
+        let l = (j + cfg.oversample).min(unf.rows().min(unf.cols()));
+        // Range finder on the current unfolding, then extract the leading
+        // j directions from the small projected matrix B = QᵀU.
+        let q = randomized_range_finder(&unf, l, cfg.power_iters, &mut rng);
+        let b = t_matmul(&q, &unf);
+        let inner = truncated_svd_gram(&b, j)?;
+        let a = matmul(&q, &inner.u);
+        cur = ttm_t(&cur, &a, n)?;
+        factors.push(a);
+    }
+    let mut trace = ConvergenceTrace::default();
+    trace.record(fit_indicator(x.fro_norm_sq(), cur.fro_norm_sq()), 0.0);
+    Ok(MethodOutput {
+        decomposition: TuckerDecomp { core: cur, factors },
+        trace,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtucker_tensor::random::low_rank_plus_noise;
+
+    fn noisy(shape: &[usize], ranks: &[usize], noise: f64, seed: u64) -> DenseTensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        low_rank_plus_noise(shape, ranks, noise, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn rtd_exact_on_low_rank() {
+        let x = noisy(&[20, 16, 12], &[3, 3, 3], 0.0, 1);
+        let out = rtd(&x, &RtdConfig::new(&[3, 3, 3])).unwrap();
+        assert!(out.decomposition.relative_error_sq(&x).unwrap() < 1e-9);
+        assert!(out.decomposition.factors_orthonormal(1e-7));
+    }
+
+    #[test]
+    fn rtd_noisy_close_to_st_hosvd() {
+        let x = noisy(&[24, 20, 14], &[4, 4, 4], 0.1, 2);
+        let randomized = rtd(&x, &RtdConfig::new(&[4, 4, 4]))
+            .unwrap()
+            .decomposition
+            .relative_error_sq(&x)
+            .unwrap();
+        let deterministic = crate::hosvd::st_hosvd(&x, &[4, 4, 4])
+            .unwrap()
+            .decomposition
+            .relative_error_sq(&x)
+            .unwrap();
+        assert!(
+            randomized < deterministic * 1.5 + 0.01,
+            "rtd {randomized} vs st-hosvd {deterministic}"
+        );
+    }
+
+    #[test]
+    fn rtd_deterministic_given_seed() {
+        let x = noisy(&[12, 10, 8], &[2, 2, 2], 0.05, 3);
+        let cfg = RtdConfig::new(&[2, 2, 2]);
+        let a = rtd(&x, &cfg)
+            .unwrap()
+            .decomposition
+            .relative_error_sq(&x)
+            .unwrap();
+        let b = rtd(&x, &cfg)
+            .unwrap()
+            .decomposition
+            .relative_error_sq(&x)
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rtd_validates() {
+        let x = noisy(&[8, 8, 8], &[2, 2, 2], 0.0, 4);
+        assert!(rtd(&x, &RtdConfig::new(&[2, 2])).is_err());
+        assert!(rtd(&x, &RtdConfig::new(&[2, 9, 2])).is_err());
+    }
+
+    #[test]
+    fn rtd_order4() {
+        let x = noisy(&[8, 7, 6, 5], &[2, 2, 2, 2], 0.0, 5);
+        let out = rtd(&x, &RtdConfig::new(&[2, 2, 2, 2])).unwrap();
+        assert!(out.decomposition.relative_error_sq(&x).unwrap() < 1e-8);
+    }
+}

@@ -1,0 +1,479 @@
+//! Tucker-ts (Malik & Becker 2018): Tucker ALS on TensorSketched least
+//! squares.
+//!
+//! Preprocessing makes **one pass** over the raw tensor per mode, computing
+//! the sketched unfoldings `X₍ₙ₎Sₙᵀ` plus one sketch of `vec(X)`; the ALS
+//! iterations then never touch the tensor again. Factor updates solve the
+//! sketched least-squares problem
+//!
+//! `A⁽ⁿ⁾ ← (X₍ₙ₎Sₙᵀ) · pinv(G₍ₙ₎ (Sₙ K_n)ᵀ)`,  `K_n = ⊗_{k≠n} A⁽ᵏ⁾`,
+//!
+//! where `Sₙ K_n` is computed via the TensorSketch FFT identity without
+//! forming the Kronecker product. The core solves a sketched LS against
+//! `S₂ vec(X)`.
+
+use crate::common::{random_factors, validate_ranks, MethodOutput};
+use dtucker_core::error::Result;
+use dtucker_core::trace::ConvergenceTrace;
+use dtucker_core::tucker::TuckerDecomp;
+use dtucker_linalg::cholesky::Cholesky;
+use dtucker_linalg::gemm::{matmul, matmul_t, t_matmul};
+use dtucker_linalg::matrix::Matrix;
+use dtucker_linalg::svd::pinv;
+use dtucker_sketch::TensorSketch;
+use dtucker_tensor::dense::DenseTensor;
+use dtucker_tensor::unfold::unfold;
+
+/// Tucker-ts configuration.
+#[derive(Debug, Clone)]
+pub struct TuckerTsConfig {
+    /// Target multilinear ranks.
+    pub ranks: Vec<usize>,
+    /// Sketch-size multiplier: `m₁ = k·Π_{k≠n}Jₖ`, `m₂ = k·ΠJₖ`
+    /// (rounded up to powers of two).
+    pub k_factor: usize,
+    /// Maximum ALS sweeps.
+    pub max_iters: usize,
+    /// Tolerance on the sketched-residual change.
+    pub tolerance: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl TuckerTsConfig {
+    /// Defaults: `k = 10` (the paper's sketch multiplier), 20 sweeps,
+    /// tolerance `1e-4`. The sketched residual plateaus within a handful of
+    /// sweeps and then oscillates at sketch-noise level, so a tight sweep
+    /// cap plus the keep-best safeguard is both faster and as accurate as a
+    /// large cap.
+    pub fn new(ranks: &[usize]) -> Self {
+        TuckerTsConfig {
+            ranks: ranks.to_vec(),
+            k_factor: 10,
+            max_iters: 20,
+            tolerance: 1e-4,
+            seed: 0,
+        }
+    }
+}
+
+/// The preprocessed (sketched) representation: everything the iterations
+/// need, with the raw tensor discarded.
+#[derive(Debug, Clone)]
+pub struct SketchedTensor {
+    /// Original shape.
+    pub shape: Vec<usize>,
+    /// Per-mode TensorSketch over dims `(I_k)_{k≠n}`.
+    pub mode_sketches: Vec<TensorSketch>,
+    /// Per-mode sketched unfoldings `X₍ₙ₎Sₙᵀ` of shape `Iₙ × m₁`.
+    pub sketched_unfoldings: Vec<Matrix>,
+    /// TensorSketch over all dims (for the core update).
+    pub full_sketch: TensorSketch,
+    /// `S₂ vec(X)` of length `m₂`.
+    pub sketched_vec: Vec<f64>,
+    /// `‖X‖²_F` (for reporting).
+    pub norm_x_sq: f64,
+}
+
+impl SketchedTensor {
+    /// Bytes held by the preprocessed representation (sketched unfoldings +
+    /// sketched vec; the hash tables are counted too).
+    pub fn memory_bytes(&self) -> usize {
+        let mats: usize = self
+            .sketched_unfoldings
+            .iter()
+            .map(|m| m.len() * std::mem::size_of::<f64>())
+            .sum();
+        let hashes: usize = self
+            .mode_sketches
+            .iter()
+            .chain(std::iter::once(&self.full_sketch))
+            .flat_map(|ts| ts.components())
+            .map(|cs| cs.input_dim() * (std::mem::size_of::<usize>() + std::mem::size_of::<f64>()))
+            .sum();
+        mats + self.sketched_vec.len() * std::mem::size_of::<f64>() + hashes
+    }
+}
+
+/// Rounds a sketch size up to a power of two (fast FFT path), capped.
+fn sketch_size(k_factor: usize, prod_ranks: usize) -> usize {
+    (k_factor.max(2) * prod_ranks)
+        .next_power_of_two()
+        .min(1 << 20)
+}
+
+/// One pass per mode over the tensor: computes every `X₍ₙ₎Sₙᵀ` plus
+/// `S₂ vec(X)`.
+pub fn preprocess(x: &DenseTensor, cfg: &TuckerTsConfig) -> Result<SketchedTensor> {
+    validate_ranks(x.shape(), &cfg.ranks)?;
+    let shape = x.shape().to_vec();
+    let n_modes = shape.len();
+    let prod_ranks: usize = cfg.ranks.iter().product();
+
+    let mut mode_sketches = Vec::with_capacity(n_modes);
+    let mut sketched_unfoldings = Vec::with_capacity(n_modes);
+    for n in 0..n_modes {
+        let other_dims: Vec<usize> = (0..n_modes).filter(|&k| k != n).map(|k| shape[k]).collect();
+        let other_ranks: usize = (0..n_modes)
+            .filter(|&k| k != n)
+            .map(|k| cfg.ranks[k])
+            .product();
+        let m1 = sketch_size(cfg.k_factor, other_ranks);
+        let ts = TensorSketch::new(&other_dims, m1, cfg.seed ^ ((n as u64 + 1) << 32));
+        sketched_unfoldings.push(sketch_unfolding(x, &ts, n));
+        mode_sketches.push(ts);
+    }
+
+    let m2 = sketch_size(cfg.k_factor, prod_ranks);
+    let full_sketch = TensorSketch::new(&shape, m2, cfg.seed ^ 0xF00D);
+    let sketched_vec = sketch_full_vec(x, &full_sketch);
+
+    Ok(SketchedTensor {
+        shape,
+        mode_sketches,
+        sketched_unfoldings,
+        full_sketch,
+        sketched_vec,
+        norm_x_sq: x.fro_norm_sq(),
+    })
+}
+
+/// Computes `X₍ₙ₎ Sᵀ` (`Iₙ × m`) in one pass: every entry lands in bucket
+/// `Σ_{k≠n} h_k(i_k) mod m` with sign `Π_{k≠n} s_k(i_k)`.
+pub fn sketch_unfolding(x: &DenseTensor, ts: &TensorSketch, mode: usize) -> Matrix {
+    let shape = x.shape();
+    let n_modes = shape.len();
+    let m = ts.sketch_dim();
+    let comps = ts.components();
+    // Component index for tensor mode k (skipping `mode`).
+    let comp_of = |k: usize| if k < mode { k } else { k - 1 };
+
+    let mut out = Matrix::zeros(shape[mode], m);
+    let odat = out.as_mut_slice();
+    let mut idx = vec![0usize; n_modes];
+    // Incrementally maintained combined hash (unreduced) and sign.
+    let mut hsum: usize = (0..n_modes)
+        .filter(|&k| k != mode)
+        .map(|k| comps[comp_of(k)].bucket(0))
+        .sum();
+    let mut sgn: f64 = (0..n_modes)
+        .filter(|&k| k != mode)
+        .map(|k| comps[comp_of(k)].sign(0))
+        .product();
+    for &v in x.as_slice() {
+        odat[idx[mode] * m + hsum % m] += sgn * v;
+        // Advance the multi-index, updating hash/sign trackers.
+        for k in 0..n_modes {
+            let old = idx[k];
+            idx[k] += 1;
+            let wrapped = idx[k] == shape[k];
+            if wrapped {
+                idx[k] = 0;
+            }
+            if k != mode {
+                let cs = &comps[comp_of(k)];
+                hsum = hsum + cs.bucket(idx[k]) - cs.bucket(old);
+                sgn *= cs.sign(idx[k]) * cs.sign(old);
+            }
+            if !wrapped {
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Computes `S vec(X)` in one pass (hash over **all** modes).
+pub fn sketch_full_vec(x: &DenseTensor, ts: &TensorSketch) -> Vec<f64> {
+    let shape = x.shape();
+    let n_modes = shape.len();
+    let m = ts.sketch_dim();
+    let comps = ts.components();
+    let mut out = vec![0.0f64; m];
+    let mut idx = vec![0usize; n_modes];
+    let mut hsum: usize = comps.iter().map(|cs| cs.bucket(0)).sum();
+    let mut sgn: f64 = comps.iter().map(|cs| cs.sign(0)).product();
+    for &v in x.as_slice() {
+        out[hsum % m] += sgn * v;
+        for k in 0..n_modes {
+            let old = idx[k];
+            idx[k] += 1;
+            let wrapped = idx[k] == shape[k];
+            if wrapped {
+                idx[k] = 0;
+            }
+            let cs = &comps[k];
+            hsum = hsum + cs.bucket(idx[k]) - cs.bucket(old);
+            sgn *= cs.sign(idx[k]) * cs.sign(old);
+            if !wrapped {
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Solves the sketched core LS `min_g ‖(S₂ ⊗A) g − S₂vec(X)‖` and returns
+/// `(core, relative sketched residual)`.
+fn core_update(
+    skt: &SketchedTensor,
+    factors: &[Matrix],
+    ranks: &[usize],
+) -> Result<(DenseTensor, f64)> {
+    let mats: Vec<&Matrix> = factors.iter().collect();
+    let sk_all = skt.full_sketch.sketch_kron_cols(&mats); // m₂ × ΠJ
+                                                          // Normal equations with a Cholesky solve; fall back to the
+                                                          // pseudo-inverse if the Gram matrix is numerically singular. The Gram
+                                                          // product is the hot spot for order-4 tensors (m2 x (PiJ)^2 flops), so
+                                                          // it uses the blocked multi-threaded kernel.
+    let g_mat = t_matmul(&sk_all, &sk_all);
+    let mut rhs = Matrix::zeros(sk_all.cols(), 1);
+    let atb = {
+        let mut v = vec![0.0; sk_all.cols()];
+        for r in 0..sk_all.rows() {
+            let row = sk_all.row(r);
+            let b = skt.sketched_vec[r];
+            for (vi, &a) in v.iter_mut().zip(row.iter()) {
+                *vi += a * b;
+            }
+        }
+        v
+    };
+    rhs.set_col(0, &atb);
+    // Tikhonov ridge: sketched designs can be numerically rank-deficient
+    // when factor columns become collinear mid-iteration; an escalating
+    // ridge keeps the solve O(P^3) instead of falling back to a dense SVD
+    // pseudo-inverse.
+    let p_dim = g_mat.rows();
+    let trace_avg = (0..p_dim).map(|i| g_mat.get(i, i)).sum::<f64>() / p_dim.max(1) as f64;
+    let mut g_vec = None;
+    let mut lambda = trace_avg.max(f64::MIN_POSITIVE) * 1e-12;
+    for _attempt in 0..8 {
+        let mut ridged = g_mat.clone();
+        for i in 0..p_dim {
+            let d = ridged.get(i, i);
+            ridged.set(i, i, d + lambda);
+        }
+        if let Ok(ch) = Cholesky::new(&ridged) {
+            g_vec = Some(ch.solve(&rhs)?.col(0));
+            break;
+        }
+        lambda *= 1e3;
+    }
+    let g_vec = match g_vec {
+        Some(v) => v,
+        None => {
+            let p = pinv(&g_mat, 1e-12)?;
+            matmul(&p, &rhs).col(0)
+        }
+    };
+    // Residual of the sketched system.
+    let fitted = sk_all.matvec(&g_vec)?;
+    let mut resid_sq = 0.0;
+    let mut b_sq = 0.0;
+    for (f, &b) in fitted.iter().zip(skt.sketched_vec.iter()) {
+        resid_sq += (f - b) * (f - b);
+        b_sq += b * b;
+    }
+    let rel = if b_sq == 0.0 {
+        0.0
+    } else {
+        (resid_sq / b_sq).sqrt()
+    };
+    // g is indexed by the core multi-index with mode 0 fastest — exactly the
+    // Fortran element order of the core tensor.
+    let core = DenseTensor::from_vec(ranks, g_vec)?;
+    Ok((core, rel))
+}
+
+/// Core update shared with Tucker-ttmts (same sketched LS).
+pub(crate) fn core_update_for_ttmts(
+    skt: &SketchedTensor,
+    factors: &[Matrix],
+    ranks: &[usize],
+) -> Result<(DenseTensor, f64)> {
+    core_update(skt, factors, ranks)
+}
+
+/// Runs Tucker-ts end to end (preprocess + iterate).
+pub fn tucker_ts(x: &DenseTensor, cfg: &TuckerTsConfig) -> Result<MethodOutput> {
+    let skt = preprocess(x, cfg)?;
+    tucker_ts_sketched(&skt, cfg)
+}
+
+/// Tucker-ts iterations on a preprocessed sketch.
+pub fn tucker_ts_sketched(skt: &SketchedTensor, cfg: &TuckerTsConfig) -> Result<MethodOutput> {
+    validate_ranks(&skt.shape, &cfg.ranks)?;
+    let n_modes = skt.shape.len();
+    let mut factors = random_factors(&skt.shape, &cfg.ranks, cfg.seed ^ 0x7573);
+    // Initial core from the sketched LS.
+    let (mut core, init_rel) = core_update(skt, &factors, &cfg.ranks)?;
+    let mut trace = ConvergenceTrace::default();
+    // Sketched ALS can oscillate; keep the best iterate seen (by sketched
+    // residual) and return that, which is the standard safeguard for
+    // randomized ALS solvers.
+    let mut best = (core.clone(), factors.clone(), init_rel);
+    let mut stalled = 0usize;
+
+    for _sweep in 0..cfg.max_iters.max(1) {
+        for n in 0..n_modes {
+            let mats: Vec<&Matrix> = (0..n_modes)
+                .filter(|&k| k != n)
+                .map(|k| &factors[k])
+                .collect();
+            let sk = skt.mode_sketches[n].sketch_kron_cols(&mats); // m₁ × Π_{k≠n}J
+            drop(mats);
+            let g_n = unfold(&core, n)?; // Jₙ × Π_{k≠n}J
+            let b_s = matmul_t(&g_n, &sk); // Jₙ × m₁
+                                           // Generous pinv cutoff: small singular values of the sketched
+                                           // design matrix are dominated by sketch noise, and inverting
+                                           // them is what makes unregularized sketched ALS blow up.
+            let p = pinv(&b_s, 1e-6)?; // m₁ × Jₙ
+            let mut a = matmul(&skt.sketched_unfoldings[n], &p);
+            // Normalize factor columns — the core absorbs the scales; this
+            // keeps the sketched LS well conditioned across sweeps.
+            for c in 0..a.cols() {
+                let nrm = dtucker_linalg::norms::fro_norm(&a.col(c));
+                if nrm > 0.0 && nrm.is_finite() {
+                    let inv = 1.0 / nrm;
+                    for r in 0..a.rows() {
+                        let v = a.get(r, c);
+                        a.set(r, c, v * inv);
+                    }
+                }
+            }
+            factors[n] = a;
+        }
+        let (new_core, rel) = core_update(skt, &factors, &cfg.ranks)?;
+        core = new_core;
+        if rel < best.2 - 1e-12 {
+            best = (core.clone(), factors.clone(), rel);
+            stalled = 0;
+        } else {
+            // Sketch-noise plateau: keep-best makes further sweeps useless.
+            stalled += 1;
+            if stalled >= 3 {
+                break;
+            }
+        }
+        if trace.record(rel, cfg.tolerance) {
+            break;
+        }
+    }
+    let (core, factors, _) = best;
+    Ok(MethodOutput {
+        decomposition: TuckerDecomp { core, factors },
+        trace,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtucker_tensor::random::low_rank_plus_noise;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn noisy(shape: &[usize], ranks: &[usize], noise: f64, seed: u64) -> DenseTensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        low_rank_plus_noise(shape, ranks, noise, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn sketch_unfolding_matches_direct() {
+        let x = DenseTensor::from_fn(&[3, 4, 2], |idx| {
+            (idx[0] * 100 + idx[1] * 10 + idx[2]) as f64 * 0.01 + 1.0
+        })
+        .unwrap();
+        for mode in 0..3 {
+            let other_dims: Vec<usize> = (0..3)
+                .filter(|&k| k != mode)
+                .map(|k| x.shape()[k])
+                .collect();
+            let ts = TensorSketch::new(&other_dims, 8, 5);
+            let fast = sketch_unfolding(&x, &ts, mode);
+            // Direct route: enumerate entries, compute buckets from scratch.
+            let mut slow = Matrix::zeros(x.shape()[mode], 8);
+            let mut idx = vec![0usize; 3];
+            for &v in x.as_slice() {
+                let others: Vec<usize> = (0..3).filter(|&k| k != mode).map(|k| idx[k]).collect();
+                let b = ts.bucket(&others);
+                let s = ts.sign(&others);
+                let cur = slow.get(idx[mode], b);
+                slow.set(idx[mode], b, cur + s * v);
+                dtucker_tensor::dense::increment_index(&mut idx, x.shape());
+            }
+            assert!(fast.approx_eq(&slow, 1e-10), "mode {mode}");
+        }
+    }
+
+    #[test]
+    fn sketch_full_vec_matches_direct() {
+        let x = DenseTensor::from_fn(&[3, 2, 4], |idx| {
+            (idx[0] + 2 * idx[1] + 3 * idx[2]) as f64 * 0.1 - 0.4
+        })
+        .unwrap();
+        let ts = TensorSketch::new(x.shape(), 16, 9);
+        let fast = sketch_full_vec(&x, &ts);
+        let mut slow = [0.0; 16];
+        let mut idx = vec![0usize; 3];
+        for &v in x.as_slice() {
+            slow[ts.bucket(&idx)] += ts.sign(&idx) * v;
+            dtucker_tensor::dense::increment_index(&mut idx, x.shape());
+        }
+        for t in 0..16 {
+            assert!((fast[t] - slow[t]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn tucker_ts_recovers_low_rank() {
+        let x = noisy(&[18, 15, 12], &[2, 2, 2], 0.0, 1);
+        let mut cfg = TuckerTsConfig::new(&[2, 2, 2]);
+        cfg.k_factor = 12;
+        cfg.seed = 2;
+        let out = tucker_ts(&x, &cfg).unwrap();
+        let err = out.decomposition.relative_error_sq(&x).unwrap();
+        assert!(err < 0.05, "error {err}");
+    }
+
+    #[test]
+    fn tucker_ts_noisy_reasonable() {
+        let x = noisy(&[20, 16, 12], &[3, 3, 3], 0.05, 3);
+        let mut cfg = TuckerTsConfig::new(&[3, 3, 3]);
+        cfg.k_factor = 10;
+        cfg.seed = 4;
+        let out = tucker_ts(&x, &cfg).unwrap();
+        let err = out.decomposition.relative_error_sq(&x).unwrap();
+        // Sketched methods trade accuracy for speed; the paper's plots show
+        // them strictly above the exact methods. Accept a loose bound.
+        assert!(err < 0.25, "error {err}");
+    }
+
+    #[test]
+    fn preprocessing_memory_smaller_than_dense() {
+        let x = noisy(&[40, 30, 20], &[2, 2, 2], 0.0, 5);
+        let cfg = TuckerTsConfig::new(&[2, 2, 2]);
+        let skt = preprocess(&x, &cfg).unwrap();
+        let dense = x.numel() * 8;
+        assert!(
+            skt.memory_bytes() < dense,
+            "sketched {} vs dense {dense}",
+            skt.memory_bytes()
+        );
+        assert!((skt.norm_x_sq - x.fro_norm_sq()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tucker_ts_validates() {
+        let x = noisy(&[8, 8, 8], &[2, 2, 2], 0.0, 6);
+        assert!(tucker_ts(&x, &TuckerTsConfig::new(&[2, 2])).is_err());
+    }
+
+    #[test]
+    fn sketch_size_rounding() {
+        assert_eq!(sketch_size(4, 4), 16);
+        assert_eq!(sketch_size(4, 100), 512);
+        assert_eq!(sketch_size(1, 3), 8); // k_factor clamped to 2 → 6 → 8
+    }
+}

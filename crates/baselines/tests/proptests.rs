@@ -1,0 +1,61 @@
+//! Property-based tests for the baseline methods.
+
+use dtucker_baselines::{hooi, hosvd, st_hosvd, HooiConfig};
+use dtucker_tensor::random::low_rank_plus_noise;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn case() -> impl Strategy<Value = (Vec<usize>, usize, f64, u64)> {
+    (
+        proptest::collection::vec(5usize..=14, 3),
+        2usize..=3,
+        0.0f64..0.15,
+        any::<u64>(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    #[test]
+    fn hooi_never_worse_than_hosvd((shape, rank, noise, seed) in case()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ranks = vec![rank.min(*shape.iter().min().unwrap()); 3];
+        let x = low_rank_plus_noise(&shape, &ranks, noise, &mut rng).unwrap();
+
+        let h = hosvd(&x, &ranks).unwrap().decomposition;
+        let mut cfg = HooiConfig::new(&ranks);
+        cfg.seed = seed;
+        let a = hooi(&x, &cfg).unwrap().decomposition;
+
+        let e_hosvd = h.relative_error_sq(&x).unwrap();
+        let e_hooi = a.relative_error_sq(&x).unwrap();
+        // HOOI refines the HOSVD init, so it can only improve (up to the
+        // convergence tolerance).
+        prop_assert!(e_hooi <= e_hosvd + 1e-6, "hooi {} vs hosvd {}", e_hooi, e_hosvd);
+    }
+
+    #[test]
+    fn one_shot_methods_agree_on_clean_low_rank((shape, rank, _n, seed) in case()) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xA5);
+        let ranks = vec![rank.min(*shape.iter().min().unwrap()); 3];
+        let x = low_rank_plus_noise(&shape, &ranks, 0.0, &mut rng).unwrap();
+        let e1 = hosvd(&x, &ranks).unwrap().decomposition.relative_error_sq(&x).unwrap();
+        let e2 = st_hosvd(&x, &ranks).unwrap().decomposition.relative_error_sq(&x).unwrap();
+        // Both are exact on an exactly low-rank tensor.
+        prop_assert!(e1 < 1e-8, "hosvd {}", e1);
+        prop_assert!(e2 < 1e-8, "st-hosvd {}", e2);
+    }
+
+    #[test]
+    fn hosvd_factors_always_orthonormal((shape, rank, noise, seed) in case()) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xB6);
+        let ranks = vec![rank.min(*shape.iter().min().unwrap()); 3];
+        let x = low_rank_plus_noise(&shape, &ranks, noise, &mut rng).unwrap();
+        let d = st_hosvd(&x, &ranks).unwrap().decomposition;
+        prop_assert!(d.factors_orthonormal(1e-6));
+        // Core energy never exceeds the tensor's.
+        prop_assert!(d.core.fro_norm_sq() <= x.fro_norm_sq() * (1.0 + 1e-9));
+    }
+}

@@ -1,0 +1,37 @@
+//! Microbenchmarks for the GEMM kernels (the workhorse of every method).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dtucker_linalg::gemm::{gram, matmul, matmul_t, t_matmul};
+use dtucker_linalg::random::gaussian_matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    for &n in &[64usize, 128, 256] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = gaussian_matrix(n, n, &mut rng);
+        let b = gaussian_matrix(n, n, &mut rng);
+        group.bench_with_input(BenchmarkId::new("matmul", n), &n, |bch, _| {
+            bch.iter(|| matmul(&a, &b))
+        });
+        group.bench_with_input(BenchmarkId::new("t_matmul", n), &n, |bch, _| {
+            bch.iter(|| t_matmul(&a, &b))
+        });
+        group.bench_with_input(BenchmarkId::new("matmul_t", n), &n, |bch, _| {
+            bch.iter(|| matmul_t(&a, &b))
+        });
+    }
+    // The tall-skinny products D-Tucker actually issues (I × k times k × J).
+    let mut rng = StdRng::seed_from_u64(2);
+    let tall = gaussian_matrix(1024, 15, &mut rng);
+    let small = gaussian_matrix(15, 10, &mut rng);
+    group.bench_function("tall_skinny_1024x15x10", |bch| {
+        bch.iter(|| matmul(&tall, &small))
+    });
+    group.bench_function("gram_1024x15", |bch| bch.iter(|| gram(&tall)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm);
+criterion_main!(benches);

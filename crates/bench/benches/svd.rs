@@ -1,0 +1,47 @@
+//! Microbenchmarks for the SVD routes used by the phases: exact Jacobi,
+//! Gram-route truncation, and the randomized SVD of the approximation phase.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dtucker_linalg::random::gaussian_matrix;
+use dtucker_linalg::rsvd::{rsvd, RsvdConfig};
+use dtucker_linalg::svd::{leading_left_singular_vectors, svd, truncated_svd_gram};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_svd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("svd");
+    group.sample_size(20);
+    for &(m, n) in &[(64usize, 48usize), (160, 120), (320, 240)] {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = gaussian_matrix(m, n, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::new("exact", format!("{m}x{n}")),
+            &a,
+            |bch, a| bch.iter(|| svd(a).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("gram_trunc_k15", format!("{m}x{n}")),
+            &a,
+            |bch, a| bch.iter(|| truncated_svd_gram(a, 15).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("rsvd_k15", format!("{m}x{n}")),
+            &a,
+            |bch, a| {
+                bch.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(4);
+                    rsvd(a, RsvdConfig::new(15), &mut rng).unwrap()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("leading_lsv_k10", format!("{m}x{n}")),
+            &a,
+            |bch, a| bch.iter(|| leading_left_singular_vectors(a, 10).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_svd);
+criterion_main!(benches);

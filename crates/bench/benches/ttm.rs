@@ -1,0 +1,36 @@
+//! Microbenchmarks for n-mode products and unfolding.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dtucker_linalg::random::gaussian_matrix;
+use dtucker_tensor::random::gaussian_tensor;
+use dtucker_tensor::ttm::{multi_ttm_t, ttm_t};
+use dtucker_tensor::unfold::unfold;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_ttm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ttm");
+    group.sample_size(20);
+    let mut rng = StdRng::seed_from_u64(5);
+    let x = gaussian_tensor(&[96, 80, 60], &mut rng).unwrap();
+    let factors: Vec<_> = x
+        .shape()
+        .iter()
+        .map(|&i| gaussian_matrix(i, 10, &mut rng))
+        .collect();
+    for mode in 0..3 {
+        group.bench_with_input(BenchmarkId::new("ttm_t", mode), &mode, |bch, &m| {
+            bch.iter(|| ttm_t(&x, &factors[m], m).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("unfold", mode), &mode, |bch, &m| {
+            bch.iter(|| unfold(&x, m).unwrap())
+        });
+    }
+    group.bench_function("multi_ttm_t_skip0", |bch| {
+        bch.iter(|| multi_ttm_t(&x, &factors, 0).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ttm);
+criterion_main!(benches);

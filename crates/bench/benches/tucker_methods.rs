@@ -1,0 +1,24 @@
+//! End-to-end method benchmarks on a CI-scale Boats analog: D-Tucker vs
+//! every baseline at the paper protocol.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dtucker_bench::{run_method, Method};
+use dtucker_data::{generate, Dataset, Scale};
+
+fn bench_methods(c: &mut Criterion) {
+    let x = generate(Dataset::Boats, Scale::Ci, 0).unwrap();
+    let mut group = c.benchmark_group("tucker_methods_boats_ci");
+    group.sample_size(10);
+    for m in Method::COMPARISON {
+        group.bench_function(m.name(), |bch| {
+            bch.iter(|| run_method(m, &x, 5, 0).unwrap())
+        });
+    }
+    group.bench_function(Method::DTuckerExact.name(), |bch| {
+        bch.iter(|| run_method(Method::DTuckerExact, &x, 5, 0).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_methods);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Experiment E6 — initialization-quality ablation: fit trajectory per ALS
+//! sweep with the paper's SVD-based initialization vs random orthonormal
+//! init (what vanilla HOOI starts from) vs HOSVD-initialized Tucker-ALS.
+//!
+//! Usage: `cargo run -p dtucker-bench --release --bin exp_convergence --
+//!         [--scale ci|bench|paper] [--rank J] [--seed S] [--dataset NAME]`
+
+use dtucker_baselines::{hooi, HooiConfig, HooiInit};
+use dtucker_bench::{Args, Table};
+use dtucker_core::{DTucker, DTuckerConfig, InitStrategy};
+use dtucker_data::{generate, parse_scale, Dataset, Scale};
+
+fn main() {
+    let args = Args::capture();
+    let scale = args
+        .get("scale")
+        .map(|s| parse_scale(s).expect("bad --scale"))
+        .unwrap_or(Scale::Ci);
+    let rank: usize = args.get_or("rank", 5);
+    let seed: u64 = args.get_or("seed", 0);
+    let ds = args
+        .get("dataset")
+        .map(|n| Dataset::parse(n).expect("unknown --dataset"))
+        .unwrap_or(Dataset::Boats);
+
+    println!(
+        "## E6: convergence / initialization ablation on '{}'",
+        ds.name()
+    );
+    println!("(scale {scale:?}, rank {rank}, seed {seed}; fit = sqrt(1 - |G|^2/|X|^2))\n");
+
+    let x = generate(ds, scale, seed).expect("dataset generation failed");
+    let rank = rank.min(*x.shape().iter().min().expect("non-empty shape"));
+    let solver = DTucker::new(DTuckerConfig::uniform(rank, x.order()).with_seed(seed));
+    let smart = solver
+        .decompose_with_init(&x, InitStrategy::DTucker)
+        .expect("run failed");
+    let random = solver
+        .decompose_with_init(&x, InitStrategy::Random)
+        .expect("run failed");
+
+    let mut als_cfg = HooiConfig::new(&vec![rank; x.order()]);
+    als_cfg.seed = seed;
+    als_cfg.init = HooiInit::Random;
+    let als = hooi(&x, &als_cfg).expect("hooi failed");
+
+    let max_len = smart
+        .trace
+        .sweep_fits
+        .len()
+        .max(random.trace.sweep_fits.len())
+        .max(als.trace.sweep_fits.len());
+
+    let mut table = Table::new(&["sweep", "dtucker_init", "random_init", "als_random_init"])
+        .with_csv("e6_convergence");
+    let cell = |fits: &[f64], i: usize| {
+        fits.get(i)
+            .map(|f| format!("{f:.5}"))
+            .unwrap_or_else(|| "(done)".into())
+    };
+    for i in 0..max_len {
+        table.row(&[
+            (i + 1).to_string(),
+            cell(&smart.trace.sweep_fits, i),
+            cell(&random.trace.sweep_fits, i),
+            cell(&als.trace.sweep_fits, i),
+        ]);
+    }
+    table.print();
+    println!(
+        "\nsweeps to converge: dtucker-init {} vs random-init {} (ALS: {})",
+        smart.trace.iterations(),
+        random.trace.iterations(),
+        als.trace.iterations()
+    );
+    println!("Expected shape (paper): the SVD-based initialization starts near the fixed");
+    println!("point, so it converges in (often several times) fewer sweeps than random init.");
+}

@@ -1,0 +1,68 @@
+//! Experiment E2 — space for preprocessed results (the paper's memory
+//! figure).
+//!
+//! Compares the bytes each method retains after its preprocessing phase:
+//! D-Tucker's slice SVDs, MACH's sparse sample, Tucker-ts's sketches, and
+//! the raw tensor (what Tucker-ALS / HOSVD / RTD must keep).
+//!
+//! Usage: `cargo run -p dtucker-bench --release --bin exp_space --
+//!         [--scale ci|bench|paper] [--rank J] [--seed S]`
+
+use dtucker_baselines::mach::{mach_sample, MachConfig};
+use dtucker_baselines::tucker_ts::{preprocess, TuckerTsConfig};
+use dtucker_bench::{human_bytes, Args, Table};
+use dtucker_core::{DTuckerConfig, SlicedTensor};
+use dtucker_data::{generate, parse_scale, Dataset, Scale};
+
+fn main() {
+    let args = Args::capture();
+    let scale = args
+        .get("scale")
+        .map(|s| parse_scale(s).expect("bad --scale"))
+        .unwrap_or(Scale::Ci);
+    let rank: usize = args.get_or("rank", 5);
+    let seed: u64 = args.get_or("seed", 0);
+
+    println!("## E2: space for preprocessed results");
+    println!("(scale {scale:?}, rank {rank}; 'input tensor' is what ALS/HOSVD/RTD keep)\n");
+
+    let mut table = Table::new(&[
+        "dataset",
+        "input_tensor",
+        "dtucker_slices",
+        "mach_sample",
+        "ts_sketches",
+        "dtucker_ratio",
+    ])
+    .with_csv("e2_space");
+
+    for ds in Dataset::ALL {
+        let x = generate(ds, scale, seed).expect("dataset generation failed");
+        let n = x.order();
+        let rank = rank.min(*x.shape().iter().min().expect("non-empty shape"));
+        let dense = x.numel() * std::mem::size_of::<f64>();
+
+        let cfg = DTuckerConfig::uniform(rank, n).with_seed(seed);
+        let sliced = SlicedTensor::compress(&x, &cfg).expect("compression failed");
+
+        let mut mcfg = MachConfig::new(&vec![rank; n]);
+        mcfg.seed = seed;
+        let sample = mach_sample(&x, &mcfg).expect("mach sampling failed");
+
+        let mut tscfg = TuckerTsConfig::new(&vec![rank; n]);
+        tscfg.seed = seed;
+        let sketched = preprocess(&x, &tscfg).expect("ts preprocessing failed");
+
+        table.row(&[
+            ds.name().into(),
+            human_bytes(dense),
+            human_bytes(sliced.memory_bytes()),
+            human_bytes(sample.memory_bytes()),
+            human_bytes(sketched.memory_bytes()),
+            format!("{:.1}x", sliced.compression_ratio()),
+        ]);
+    }
+    table.print();
+    println!("\nExpected shape (paper): D-Tucker's slice store is 1-2 orders of magnitude");
+    println!("smaller than the raw tensor, with the largest ratio on the 4-order tensor.");
+}

@@ -1,0 +1,83 @@
+//! Experiment E9 (extension) — thread scaling of the approximation phase.
+//!
+//! D-Tucker's slice compressions are embarrassingly parallel; this sweep
+//! measures the approximation-phase wall clock vs worker count and checks
+//! that the results are bit-identical at every thread count (per-slice
+//! derived seeds).
+//!
+//! Usage: `cargo run -p dtucker-bench --release --bin exp_threads --
+//!         [--scale ci|bench|paper] [--rank J] [--seed S] [--dataset NAME]
+//!         [--max-threads T]`
+
+use dtucker_bench::{secs, time, Args, Table};
+use dtucker_core::{DTuckerConfig, SlicedTensor};
+use dtucker_data::{generate, parse_scale, Dataset, Scale};
+
+fn main() {
+    let args = Args::capture();
+    let scale = args
+        .get("scale")
+        .map(|s| parse_scale(s).expect("bad --scale"))
+        .unwrap_or(Scale::Ci);
+    let rank: usize = args.get_or("rank", 5);
+    let seed: u64 = args.get_or("seed", 0);
+    let max_threads: usize = args.get_or(
+        "max-threads",
+        std::thread::available_parallelism().map_or(4, |n| n.get()),
+    );
+    let ds = args
+        .get("dataset")
+        .map(|n| Dataset::parse(n).expect("unknown --dataset"))
+        .unwrap_or(Dataset::Boats);
+
+    let x = generate(ds, scale, seed).expect("dataset generation failed");
+    let rank = rank.min(*x.shape().iter().min().expect("non-empty shape"));
+    println!(
+        "## E9: approximation-phase thread scaling on '{}' ({:?})",
+        ds.name(),
+        x.shape()
+    );
+    println!("(rank {rank}, seed {seed}; per-slice seeds make results thread-count independent)\n");
+
+    let mut table = Table::new(&["threads", "approx_s", "speedup", "identical_to_serial"])
+        .with_csv("e9_threads");
+
+    let mut serial_time = None;
+    let mut serial_sig: Option<Vec<f64>> = None;
+    let mut t = 1usize;
+    while t <= max_threads.max(1) {
+        let cfg = DTuckerConfig::uniform(rank, x.order())
+            .with_seed(seed)
+            .with_threads(t);
+        let (st, elapsed) = time(|| SlicedTensor::compress(&x, &cfg).expect("compression"));
+        let sig: Vec<f64> = st
+            .slices()
+            .iter()
+            .flat_map(|s| s.s.iter().copied())
+            .collect();
+        let (speedup, same) = match (&serial_time, &serial_sig) {
+            (Some(st0), Some(s0)) => {
+                let identical =
+                    s0.len() == sig.len() && s0.iter().zip(sig.iter()).all(|(a, b)| a == b);
+                (
+                    format!("{:.2}x", duration_ratio(*st0, elapsed)),
+                    identical.to_string(),
+                )
+            }
+            _ => {
+                serial_time = Some(elapsed);
+                serial_sig = Some(sig.clone());
+                ("1.00x".into(), "true".into())
+            }
+        };
+        table.row(&[t.to_string(), secs(elapsed), speedup, same]);
+        t *= 2;
+    }
+    table.print();
+    println!("\nExpected shape: near-linear speedup until the core count is exhausted,");
+    println!("with bit-identical slice SVDs at every thread count.");
+}
+
+fn duration_ratio(a: std::time::Duration, b: std::time::Duration) -> f64 {
+    a.as_secs_f64() / b.as_secs_f64().max(1e-9)
+}

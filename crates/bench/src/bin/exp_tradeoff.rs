@@ -1,0 +1,101 @@
+//! Experiment E1 — running time vs reconstruction error trade-off
+//! (the paper's headline figure).
+//!
+//! For every dataset analog, runs D-Tucker and every competitor at the
+//! paper's protocol (uniform rank, tol 1e-4, single thread) and prints one
+//! row per (dataset, method) with wall-clock time, relative error, and the
+//! speedup over Tucker-ALS.
+//!
+//! Usage: `cargo run -p dtucker-bench --release --bin exp_tradeoff --
+//!         [--scale ci|bench|paper] [--rank J] [--seed S]
+//!         [--dataset boats|airquality|traffic|hsi|absorb]`
+
+use dtucker_bench::{run_method, secs, Args, Method, Table};
+use dtucker_data::{generate, parse_scale, Dataset, Scale};
+
+fn main() {
+    let args = Args::capture();
+    let scale = args
+        .get("scale")
+        .map(|s| parse_scale(s).expect("bad --scale"))
+        .unwrap_or(Scale::Ci);
+    let rank: usize = args.get_or("rank", 5);
+    let seed: u64 = args.get_or("seed", 0);
+    let datasets: Vec<Dataset> = match args.get("dataset") {
+        Some(name) => vec![Dataset::parse(name).expect("unknown --dataset")],
+        None => Dataset::ALL.to_vec(),
+    };
+
+    println!("## E1: query-time vs reconstruction-error trade-off");
+    println!("(scale {scale:?}, rank {rank}, seed {seed}; times are single-run wall clock)\n");
+
+    let mut table = Table::new(&[
+        "dataset",
+        "method",
+        "time_s",
+        "rel_error",
+        "iters",
+        "speedup_vs_ALS",
+    ])
+    .with_csv("e1_tradeoff");
+
+    for ds in datasets {
+        let x = generate(ds, scale, seed).expect("dataset generation failed");
+        let rank = rank.min(*x.shape().iter().min().expect("non-empty shape"));
+        eprintln!("[{}] shape {:?}, rank {rank}", ds.name(), x.shape());
+        let mut als_time = None;
+        let mut rows = Vec::new();
+        let mut oot: Vec<Method> = Vec::new();
+        for method in Method::COMPARISON {
+            if dtucker_bench::likely_oot(method, &x, rank) {
+                eprintln!(
+                    "  {} skipped: estimated cost exceeds budget (o.o.t.)",
+                    method.name()
+                );
+                oot.push(method);
+                continue;
+            }
+            match run_method(method, &x, rank, seed) {
+                Ok(r) => {
+                    if method == Method::Hooi {
+                        als_time = Some(r.elapsed);
+                    }
+                    rows.push(r);
+                }
+                Err(e) => eprintln!("  {} failed: {e}", method.name()),
+            }
+        }
+        for m in oot {
+            table.row(&[
+                ds.name().into(),
+                m.name().into(),
+                "o.o.t.".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]);
+        }
+        for r in rows {
+            let speedup = als_time
+                .map(|t| {
+                    format!(
+                        "{:.1}x",
+                        t.as_secs_f64() / r.elapsed.as_secs_f64().max(1e-9)
+                    )
+                })
+                .unwrap_or_else(|| "-".into());
+            table.row(&[
+                ds.name().into(),
+                r.method.name().into(),
+                secs(r.elapsed),
+                format!("{:.4}", r.error_sq),
+                r.iterations.to_string(),
+                speedup,
+            ]);
+        }
+    }
+    table.print();
+    println!("\nExpected shape (paper): D-Tucker is the fastest method with error on par");
+    println!("with Tucker-ALS; sketched methods (Tucker-ts/ttmts) and MACH trade accuracy");
+    println!("for speed; HOSVD-family is one-shot but touches the full tensor.");
+}

@@ -1,0 +1,169 @@
+//! Configuration for the D-Tucker pipeline.
+
+use crate::error::{CoreError, Result};
+
+/// Which SVD backs the approximation phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SliceSvdKind {
+    /// Randomized SVD (the paper's choice — fast, slightly lossy).
+    Randomized,
+    /// Exact truncated SVD (ablation baseline: slower, tighter slices).
+    Exact,
+}
+
+/// Configuration of a D-Tucker run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DTuckerConfig {
+    /// Target multilinear ranks `J₁, …, J_N`, in the **original** mode
+    /// order of the input tensor.
+    pub ranks: Vec<usize>,
+    /// Rank of each slice SVD in the approximation phase. Defaults to
+    /// `max(J₁, J₂) + oversample` when `None`.
+    pub slice_rank: Option<usize>,
+    /// Oversampling for the randomized slice SVDs.
+    pub oversample: usize,
+    /// Power iterations for the randomized slice SVDs.
+    pub power_iters: usize,
+    /// SVD flavor for the approximation phase.
+    pub slice_svd: SliceSvdKind,
+    /// Maximum ALS sweeps in the iteration phase.
+    pub max_iters: usize,
+    /// Convergence tolerance on the change of the fit indicator
+    /// `sqrt(|‖X‖² − ‖G‖²|)/‖X‖` between sweeps.
+    pub tolerance: f64,
+    /// RNG seed (per-slice seeds are derived, so results are independent of
+    /// thread count).
+    pub seed: u64,
+    /// Worker threads for the approximation phase (`1` = serial, matching
+    /// the paper's single-thread measurement protocol).
+    pub threads: usize,
+}
+
+impl DTuckerConfig {
+    /// A default configuration for the given ranks: oversample 5, one power
+    /// iteration, at most 100 sweeps, tolerance `1e-4` (the settings used
+    /// across the paper's experiments).
+    pub fn new(ranks: &[usize]) -> Self {
+        DTuckerConfig {
+            ranks: ranks.to_vec(),
+            slice_rank: None,
+            oversample: 5,
+            power_iters: 1,
+            slice_svd: SliceSvdKind::Randomized,
+            max_iters: 100,
+            tolerance: 1e-4,
+            seed: 0,
+            threads: 1,
+        }
+    }
+
+    /// Uniform rank `j` for an order-`n` tensor.
+    pub fn uniform(j: usize, n: usize) -> Self {
+        Self::new(&vec![j; n])
+    }
+
+    /// Sets the RNG seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the thread count (builder style).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Effective slice rank for a tensor whose two leading (largest) modes
+    /// have ranks `j1`, `j2` after reordering.
+    pub fn effective_slice_rank(&self, j1: usize, j2: usize) -> usize {
+        self.slice_rank
+            .unwrap_or_else(|| j1.max(j2) + self.oversample)
+    }
+
+    /// Validates the configuration against a tensor shape.
+    pub fn validate(&self, shape: &[usize]) -> Result<()> {
+        if self.ranks.len() != shape.len() {
+            return Err(CoreError::InvalidConfig {
+                details: format!(
+                    "{} ranks given for an order-{} tensor",
+                    self.ranks.len(),
+                    shape.len()
+                ),
+            });
+        }
+        if shape.len() < 2 {
+            return Err(CoreError::InvalidConfig {
+                details: "D-Tucker requires tensors of order ≥ 2".into(),
+            });
+        }
+        for (n, (&j, &i)) in self.ranks.iter().zip(shape.iter()).enumerate() {
+            if j == 0 {
+                return Err(CoreError::InvalidConfig {
+                    details: format!("rank of mode {n} is zero"),
+                });
+            }
+            if j > i {
+                return Err(CoreError::InvalidConfig {
+                    details: format!("rank {j} of mode {n} exceeds its dimensionality {i}"),
+                });
+            }
+        }
+        if self.max_iters == 0 {
+            return Err(CoreError::InvalidConfig {
+                details: "max_iters must be ≥ 1".into(),
+            });
+        }
+        if self.tolerance.is_nan() || self.tolerance < 0.0 {
+            return Err(CoreError::InvalidConfig {
+                details: "tolerance must be ≥ 0".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_protocol() {
+        let c = DTuckerConfig::uniform(10, 3);
+        assert_eq!(c.ranks, vec![10, 10, 10]);
+        assert_eq!(c.max_iters, 100);
+        assert!((c.tolerance - 1e-4).abs() < 1e-15);
+        assert_eq!(c.threads, 1);
+        assert_eq!(c.effective_slice_rank(10, 10), 15);
+    }
+
+    #[test]
+    fn builders() {
+        let c = DTuckerConfig::uniform(5, 3).with_seed(42).with_threads(0);
+        assert_eq!(c.seed, 42);
+        assert_eq!(c.threads, 1);
+    }
+
+    #[test]
+    fn explicit_slice_rank_wins() {
+        let mut c = DTuckerConfig::uniform(10, 3);
+        c.slice_rank = Some(12);
+        assert_eq!(c.effective_slice_rank(10, 10), 12);
+    }
+
+    #[test]
+    fn validation() {
+        let shape = [20, 15, 10];
+        assert!(DTuckerConfig::uniform(5, 3).validate(&shape).is_ok());
+        assert!(DTuckerConfig::uniform(5, 2).validate(&shape).is_err()); // wrong order
+        assert!(DTuckerConfig::new(&[5, 5, 11]).validate(&shape).is_err()); // rank > dim
+        assert!(DTuckerConfig::new(&[5, 0, 5]).validate(&shape).is_err()); // zero rank
+        let mut c = DTuckerConfig::uniform(5, 3);
+        c.max_iters = 0;
+        assert!(c.validate(&shape).is_err());
+        let mut c = DTuckerConfig::uniform(5, 3);
+        c.tolerance = f64::NAN;
+        assert!(c.validate(&shape).is_err());
+        assert!(DTuckerConfig::uniform(1, 1).validate(&[5]).is_err()); // order 1
+    }
+}

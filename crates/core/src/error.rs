@@ -1,0 +1,73 @@
+//! Error types for the D-Tucker core.
+
+use dtucker_linalg::LinalgError;
+use dtucker_tensor::TensorError;
+use std::fmt;
+
+/// Errors produced by the D-Tucker algorithms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// The configuration is inconsistent with the input tensor.
+    InvalidConfig {
+        /// Description of the inconsistency.
+        details: String,
+    },
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+    /// An underlying linear-algebra routine failed.
+    Linalg(LinalgError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidConfig { details } => write!(f, "invalid configuration: {details}"),
+            CoreError::Tensor(e) => write!(f, "tensor error: {e}"),
+            CoreError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Tensor(e) => Some(e),
+            CoreError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for CoreError {
+    fn from(e: TensorError) -> Self {
+        CoreError::Tensor(e)
+    }
+}
+
+impl From<LinalgError> for CoreError {
+    fn from(e: LinalgError) -> Self {
+        CoreError::Linalg(e)
+    }
+}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = CoreError::InvalidConfig {
+            details: "ranks".into(),
+        };
+        assert!(e.to_string().contains("ranks"));
+        assert!(e.source().is_none());
+        let e: CoreError = LinalgError::NotPositiveDefinite.into();
+        assert!(e.source().is_some());
+        let e: CoreError = TensorError::Format("x".into()).into();
+        assert!(e.to_string().contains("tensor error"));
+    }
+}

@@ -1,0 +1,144 @@
+//! Reconstruction-error profiling: per-index residuals along a mode.
+//!
+//! The discovery workflows of the paper's lineage (anomalous ranges, trend
+//! changes) all reduce to "which indices of a mode does the low-rank model
+//! explain badly?" — this module computes those profiles without
+//! materializing more than one hyperslab at a time beyond the full
+//! reconstruction.
+
+use crate::error::{CoreError, Result};
+use crate::tucker::TuckerDecomp;
+use dtucker_tensor::dense::DenseTensor;
+
+/// Relative squared residual of every index along the **last** mode:
+/// `profile[t] = ‖X[..,t] − X̂[..,t]‖² / ‖X[..,t]‖²`
+/// (`0` for all-zero hyperslabs).
+///
+/// This is the per-timestep error curve used for anomaly scans on temporal
+/// tensors.
+pub fn error_profile_last_mode(d: &TuckerDecomp, x: &DenseTensor) -> Result<Vec<f64>> {
+    if d.full_shape() != x.shape() {
+        return Err(CoreError::InvalidConfig {
+            details: format!(
+                "decomposition shape {:?} does not match tensor {:?}",
+                d.full_shape(),
+                x.shape()
+            ),
+        });
+    }
+    let rec = d.reconstruct()?;
+    let n = x.order();
+    let last = x.shape()[n - 1];
+    let stride: usize = x.shape()[..n - 1].iter().product();
+    let xs = x.as_slice();
+    let rs = rec.as_slice();
+    let mut out = Vec::with_capacity(last);
+    for t in 0..last {
+        let a = &xs[t * stride..(t + 1) * stride];
+        let b = &rs[t * stride..(t + 1) * stride];
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for (&av, &bv) in a.iter().zip(b.iter()) {
+            num += (av - bv) * (av - bv);
+            den += av * av;
+        }
+        out.push(if den == 0.0 { 0.0 } else { num / den });
+    }
+    Ok(out)
+}
+
+/// Indices whose residual exceeds `mean + k·std` of the profile — the
+/// simple anomaly rule the discovery experiments use.
+pub fn anomalous_indices(profile: &[f64], k_sigma: f64) -> Vec<usize> {
+    if profile.is_empty() {
+        return vec![];
+    }
+    let n = profile.len() as f64;
+    let mean = profile.iter().sum::<f64>() / n;
+    let var = profile
+        .iter()
+        .map(|&p| (p - mean) * (p - mean))
+        .sum::<f64>()
+        / n;
+    let threshold = mean + k_sigma * var.sqrt();
+    profile
+        .iter()
+        .enumerate()
+        .filter(|&(_, &p)| p > threshold)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DTuckerConfig;
+    use crate::dtucker::DTucker;
+    use dtucker_tensor::random::low_rank_plus_noise;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn profile_flags_a_corrupted_timestep() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut x = low_rank_plus_noise(&[16, 12, 30], &[2, 2, 2], 0.02, &mut rng).unwrap();
+        // Corrupt timestep 17 with full-rank junk scaled to the data: a
+        // low-rank model cannot absorb it, and it cannot dominate the
+        // whole tensor either.
+        let rms = x.fro_norm() / (x.numel() as f64).sqrt();
+        let amp = rms;
+        for i in 0..16 {
+            for j in 0..12 {
+                let v = x.get(&[i, j, 17]);
+                let sign = if (i * 7 + j * 13 + i * j) % 3 == 0 {
+                    1.0
+                } else {
+                    -1.0
+                };
+                x.set(&[i, j, 17], v + sign * amp);
+            }
+        }
+        let out = DTucker::new(DTuckerConfig::uniform(2, 3).with_seed(2))
+            .decompose(&x)
+            .unwrap();
+        let profile = error_profile_last_mode(&out.decomposition, &x).unwrap();
+        assert_eq!(profile.len(), 30);
+        let worst = profile
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(worst, 17, "profile {profile:?}");
+        let flagged = anomalous_indices(&profile, 2.0);
+        assert!(flagged.contains(&17));
+        assert!(
+            flagged.len() <= 3,
+            "only the corrupted step should stand out: {flagged:?}"
+        );
+    }
+
+    #[test]
+    fn profile_shape_mismatch_rejected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = low_rank_plus_noise(&[10, 8, 6], &[2, 2, 2], 0.0, &mut rng).unwrap();
+        let y = low_rank_plus_noise(&[10, 8, 7], &[2, 2, 2], 0.0, &mut rng).unwrap();
+        let out = DTucker::new(DTuckerConfig::uniform(2, 3))
+            .decompose(&x)
+            .unwrap();
+        assert!(error_profile_last_mode(&out.decomposition, &y).is_err());
+    }
+
+    #[test]
+    fn clean_model_has_flat_profile() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let x = low_rank_plus_noise(&[12, 10, 20], &[2, 2, 2], 0.0, &mut rng).unwrap();
+        let out = DTucker::new(DTuckerConfig::uniform(2, 3).with_seed(5))
+            .decompose(&x)
+            .unwrap();
+        let profile = error_profile_last_mode(&out.decomposition, &x).unwrap();
+        assert!(profile.iter().all(|&p| p < 1e-9), "{profile:?}");
+        assert!(anomalous_indices(&profile, 3.0).len() <= 2);
+        assert!(anomalous_indices(&[], 2.0).is_empty());
+    }
+}

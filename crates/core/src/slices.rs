@@ -1,0 +1,651 @@
+//! Approximation phase: the sliced-SVD compressed tensor.
+//!
+//! D-Tucker reorders the modes so the two largest come first, views the
+//! tensor as `L = I₃⋯I_N` frontal slices `X_l ∈ R^{I₁×I₂}`, and compresses
+//! each slice with a truncated (by default randomized) SVD. The collection
+//! of slice SVDs — [`SlicedTensor`] — is the only representation of the data
+//! used by the initialization and iteration phases.
+
+use crate::config::{DTuckerConfig, SliceSvdKind};
+use crate::error::{CoreError, Result};
+use dtucker_linalg::matrix::Matrix;
+use dtucker_linalg::rsvd::{rsvd, RsvdConfig};
+use dtucker_linalg::svd::{scale_cols, svd, truncated_svd_gram};
+use dtucker_tensor::dense::DenseTensor;
+use dtucker_tensor::unfold::{descending_mode_order, inverse_permutation, permute};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Truncated SVD of one frontal slice.
+#[derive(Debug, Clone)]
+pub struct SliceSvd {
+    /// Left singular vectors, `I₁ × k`.
+    pub u: Matrix,
+    /// Singular values, descending, length `k`.
+    pub s: Vec<f64>,
+    /// Right singular vectors, `I₂ × k`.
+    pub v: Matrix,
+}
+
+impl SliceSvd {
+    /// `U diag(s)` — the scaled left factor used throughout the pipeline.
+    pub fn us(&self) -> Matrix {
+        scale_cols(&self.u, &self.s)
+    }
+
+    /// `V diag(s)`.
+    pub fn vs(&self) -> Matrix {
+        scale_cols(&self.v, &self.s)
+    }
+
+    /// Reconstructs the slice `U diag(s) Vᵀ`.
+    pub fn reconstruct(&self) -> Matrix {
+        dtucker_linalg::gemm::matmul_t(&self.us(), &self.v)
+    }
+
+    /// Squared Frobenius norm of the compressed slice (`Σ σ²`).
+    pub fn fro_norm_sq(&self) -> f64 {
+        self.s.iter().map(|&x| x * x).sum()
+    }
+
+    /// Bytes stored for this slice.
+    pub fn memory_bytes(&self) -> usize {
+        (self.u.len() + self.s.len() + self.v.len()) * std::mem::size_of::<f64>()
+    }
+}
+
+/// The compressed output of D-Tucker's approximation phase.
+#[derive(Debug, Clone)]
+pub struct SlicedTensor {
+    /// Shape in the **internal** (permuted) mode order.
+    shape: Vec<usize>,
+    /// `perm[p]` is the original mode stored at internal position `p`.
+    perm: Vec<usize>,
+    /// Rank of every slice SVD.
+    slice_rank: usize,
+    /// One SVD per frontal slice, Fortran order over modes 3..N.
+    slices: Vec<SliceSvd>,
+    /// `‖X‖²_F` of the original tensor (used for cheap error estimates).
+    norm_x_sq: f64,
+}
+
+impl SlicedTensor {
+    /// Compresses a tensor, reordering modes so the two largest lead
+    /// (the paper's default).
+    pub fn compress(x: &DenseTensor, cfg: &DTuckerConfig) -> Result<Self> {
+        let perm = descending_mode_order(x.shape());
+        Self::compress_with_perm(x, &perm, cfg)
+    }
+
+    /// Compresses a tensor keeping the **last mode last** (required by the
+    /// streaming extension, where new data arrives along the last mode);
+    /// the remaining modes are still sorted descending.
+    pub fn compress_keep_last(x: &DenseTensor, cfg: &DTuckerConfig) -> Result<Self> {
+        let n = x.order();
+        let mut perm = descending_mode_order(&x.shape()[..n - 1]);
+        perm.push(n - 1);
+        Self::compress_with_perm(x, &perm, cfg)
+    }
+
+    /// Compresses with an explicit mode permutation (`perm[p]` = original
+    /// mode placed at internal position `p`).
+    pub fn compress_with_perm(
+        x: &DenseTensor,
+        perm: &[usize],
+        cfg: &DTuckerConfig,
+    ) -> Result<Self> {
+        cfg.validate(x.shape())?;
+        let internal = permute(x, perm)?;
+        let shape = internal.shape().to_vec();
+        let j1 = cfg.ranks[perm[0]];
+        let j2 = if shape.len() > 1 {
+            cfg.ranks[perm[1]]
+        } else {
+            1
+        };
+        let k = cfg.effective_slice_rank(j1, j2).min(shape[0]).min(shape[1]);
+        let num = internal.num_frontal_slices();
+
+        let slices = compress_slices(&internal, k, cfg, 0)?;
+        debug_assert_eq!(slices.len(), num);
+        Ok(SlicedTensor {
+            shape,
+            perm: perm.to_vec(),
+            slice_rank: k,
+            slices,
+            norm_x_sq: x.fro_norm_sq(),
+        })
+    }
+
+    /// Adaptive compression (extension): each slice keeps the **smallest**
+    /// rank whose discarded energy is at most `epsilon · ‖X_l‖²_F`, capped
+    /// at the rank the configuration would use anyway. Slices that are
+    /// nearly low-rank store fewer vectors; busy slices keep the full
+    /// budget. Mode reordering is the paper's default (two largest lead).
+    pub fn compress_adaptive(x: &DenseTensor, epsilon: f64, cfg: &DTuckerConfig) -> Result<Self> {
+        if !(0.0..1.0).contains(&epsilon) {
+            return Err(CoreError::InvalidConfig {
+                details: format!("epsilon {epsilon} must be in [0, 1)"),
+            });
+        }
+        let mut st = Self::compress(x, cfg)?;
+        // Per-slice energy truncation. The discarded-energy estimate uses
+        // the exact slice norm, so the bound is honest even for randomized
+        // slice SVDs.
+        let internal = permute(x, &st.perm)?;
+        let j_floor = st
+            .perm
+            .iter()
+            .take(2)
+            .map(|&p| cfg.ranks[p])
+            .max()
+            .unwrap_or(1);
+        for (l, sl) in st.slices.iter_mut().enumerate() {
+            let slice_norm_sq = {
+                let m = internal.frontal_slice(l)?;
+                let n = m.fro_norm();
+                n * n
+            };
+            if slice_norm_sq == 0.0 {
+                continue;
+            }
+            let budget = epsilon * slice_norm_sq;
+            let mut kept = 0.0;
+            let mut r = sl.s.len();
+            for (idx, &sv) in sl.s.iter().enumerate() {
+                kept += sv * sv;
+                if slice_norm_sq - kept <= budget {
+                    r = idx + 1;
+                    break;
+                }
+            }
+            // Never truncate below the Tucker rank the slice must support.
+            let r = r.max(j_floor.min(sl.s.len()));
+            if r < sl.s.len() {
+                sl.u = sl.u.truncate_cols(r);
+                sl.v = sl.v.truncate_cols(r);
+                sl.s.truncate(r);
+            }
+        }
+        Ok(st)
+    }
+
+    /// Ranks actually stored per slice (uniform after [`compress`],
+    /// variable after [`compress_adaptive`]).
+    ///
+    /// [`compress`]: Self::compress
+    /// [`compress_adaptive`]: Self::compress_adaptive
+    pub fn slice_ranks(&self) -> Vec<usize> {
+        self.slices.iter().map(|sl| sl.s.len()).collect()
+    }
+
+    /// Compresses a **sparse** tensor (the lineage's stated future-work
+    /// direction): per-slice randomized SVDs evaluated through CSR
+    /// products in `O(nnz·k)`, producing the same [`SlicedTensor`]
+    /// representation — the initialization/iteration phases are untouched.
+    pub fn compress_sparse(x: &dtucker_tensor::SparseTensor, cfg: &DTuckerConfig) -> Result<Self> {
+        let perm = descending_mode_order(x.shape());
+        Self::compress_sparse_with_perm(x, &perm, cfg)
+    }
+
+    /// [`Self::compress_sparse`] with an explicit mode permutation.
+    pub fn compress_sparse_with_perm(
+        x: &dtucker_tensor::SparseTensor,
+        perm: &[usize],
+        cfg: &DTuckerConfig,
+    ) -> Result<Self> {
+        cfg.validate(x.shape())?;
+        let internal = x.permute(perm)?;
+        let shape = internal.shape().to_vec();
+        let j1 = cfg.ranks[perm[0]];
+        let j2 = cfg.ranks[perm[1]];
+        let k = cfg.effective_slice_rank(j1, j2).min(shape[0]).min(shape[1]);
+        let csr = internal.frontal_slices_csr()?;
+        let mut slices = Vec::with_capacity(csr.len());
+        for (l, sl) in csr.iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(slice_seed(cfg.seed, l));
+            let d = match cfg.slice_svd {
+                SliceSvdKind::Randomized => dtucker_linalg::rsvd::rsvd_sparse(
+                    sl,
+                    RsvdConfig {
+                        rank: k,
+                        oversample: cfg.oversample,
+                        power_iters: cfg.power_iters,
+                    },
+                    &mut rng,
+                )?,
+                SliceSvdKind::Exact => svd(&sl.to_dense())?.truncate(k),
+            };
+            slices.push(SliceSvd {
+                u: d.u,
+                s: d.s,
+                v: d.v,
+            });
+        }
+        Ok(SlicedTensor {
+            shape,
+            perm: perm.to_vec(),
+            slice_rank: k,
+            slices,
+            norm_x_sq: x.fro_norm_sq(),
+        })
+    }
+
+    /// Internal (permuted) shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Mode permutation (internal position → original mode).
+    pub fn perm(&self) -> &[usize] {
+        &self.perm
+    }
+
+    /// Number of frontal slices `L`.
+    pub fn num_slices(&self) -> usize {
+        self.slices.len()
+    }
+
+    /// Rank of every slice SVD.
+    pub fn slice_rank(&self) -> usize {
+        self.slice_rank
+    }
+
+    /// The slice SVDs.
+    pub fn slices(&self) -> &[SliceSvd] {
+        &self.slices
+    }
+
+    /// `‖X‖²_F` of the tensor that was compressed.
+    pub fn norm_x_sq(&self) -> f64 {
+        self.norm_x_sq
+    }
+
+    /// `Σ_l Σ_j σ_{lj}²` — the squared norm of the compressed approximation.
+    pub fn compressed_norm_sq(&self) -> f64 {
+        self.slices.iter().map(SliceSvd::fro_norm_sq).sum()
+    }
+
+    /// Bytes stored by the compressed representation.
+    pub fn memory_bytes(&self) -> usize {
+        self.slices.iter().map(SliceSvd::memory_bytes).sum()
+    }
+
+    /// Bytes the raw dense tensor would occupy.
+    pub fn dense_bytes(&self) -> usize {
+        self.shape.iter().product::<usize>() * std::mem::size_of::<f64>()
+    }
+
+    /// Compression ratio `dense / compressed`.
+    pub fn compression_ratio(&self) -> f64 {
+        self.dense_bytes() as f64 / self.memory_bytes().max(1) as f64
+    }
+
+    /// Reconstructs the full tensor in the **original** mode order.
+    pub fn reconstruct(&self) -> Result<DenseTensor> {
+        let mats: Vec<Matrix> = self.slices.iter().map(SliceSvd::reconstruct).collect();
+        let internal = DenseTensor::from_frontal_slices(&self.shape, &mats)?;
+        Ok(permute(&internal, &inverse_permutation(&self.perm))?)
+    }
+
+    /// Relative squared compression error against the original tensor.
+    pub fn compression_error_sq(&self, x: &DenseTensor) -> Result<f64> {
+        Ok(x.relative_error_sq(&self.reconstruct()?)?)
+    }
+
+    /// Appends a block along the **original last mode** (streaming).
+    ///
+    /// Requires that the representation was built with
+    /// [`compress_keep_last`], so the internal last mode is the temporal
+    /// one; `block` must match the original shape in every other mode.
+    pub fn append_block(&mut self, block: &DenseTensor, cfg: &DTuckerConfig) -> Result<()> {
+        let n = self.shape.len();
+        if *self.perm.last().expect("non-empty perm") != n - 1 {
+            return Err(CoreError::InvalidConfig {
+                details: "append_block requires a compress_keep_last layout".into(),
+            });
+        }
+        if block.order() != n {
+            return Err(CoreError::InvalidConfig {
+                details: format!("block order {} vs tensor order {}", block.order(), n),
+            });
+        }
+        // Check all non-temporal dims match (in original order).
+        let inv = inverse_permutation(&self.perm);
+        for orig_mode in 0..n - 1 {
+            let expected = self.shape[inv[orig_mode]];
+            if block.shape()[orig_mode] != expected {
+                return Err(CoreError::InvalidConfig {
+                    details: format!(
+                        "block mode {orig_mode} is {}, expected {expected}",
+                        block.shape()[orig_mode]
+                    ),
+                });
+            }
+        }
+        let internal = permute(block, &self.perm)?;
+        let new_slices = compress_slices(&internal, self.slice_rank, cfg, self.slices.len())?;
+        self.slices.extend(new_slices);
+        self.shape[n - 1] += block.shape()[n - 1];
+        self.norm_x_sq += block.fro_norm_sq();
+        Ok(())
+    }
+}
+
+/// Compresses every frontal slice of `internal`, fanning out across
+/// `cfg.threads` workers. Per-slice RNG seeds are derived from
+/// `cfg.seed` and the **global** slice index (`index_offset + l`), so
+/// results are identical for any thread count.
+fn compress_slices(
+    internal: &DenseTensor,
+    k: usize,
+    cfg: &DTuckerConfig,
+    index_offset: usize,
+) -> Result<Vec<SliceSvd>> {
+    let num = internal.num_frontal_slices();
+    let threads = cfg.threads.max(1).min(num);
+
+    let do_slice = |l: usize| -> Result<SliceSvd> {
+        let m = internal.frontal_slice(l)?;
+        compress_one(&m, k, cfg, slice_seed(cfg.seed, index_offset + l))
+    };
+
+    if threads <= 1 {
+        return (0..num).map(do_slice).collect();
+    }
+
+    let chunk = num.div_ceil(threads);
+    let mut out: Vec<Option<Result<SliceSvd>>> = (0..num).map(|_| None).collect();
+    crossbeam::thread::scope(|s| {
+        for (t, ochunk) in out.chunks_mut(chunk).enumerate() {
+            let do_slice = &do_slice;
+            s.spawn(move |_| {
+                for (i, o) in ochunk.iter_mut().enumerate() {
+                    *o = Some(do_slice(t * chunk + i));
+                }
+            });
+        }
+    })
+    .expect("approximation-phase worker panicked");
+    out.into_iter()
+        .map(|o| o.expect("slice not computed"))
+        .collect()
+}
+
+/// Derives a per-slice seed (splitmix-style) so compression is reproducible
+/// independent of threading.
+fn slice_seed(base: u64, l: usize) -> u64 {
+    let mut z = base ^ (l as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn compress_one(m: &Matrix, k: usize, cfg: &DTuckerConfig, seed: u64) -> Result<SliceSvd> {
+    let d = match cfg.slice_svd {
+        SliceSvdKind::Randomized => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            rsvd(
+                m,
+                RsvdConfig {
+                    rank: k,
+                    oversample: cfg.oversample,
+                    power_iters: cfg.power_iters,
+                },
+                &mut rng,
+            )?
+        }
+        SliceSvdKind::Exact => {
+            if k * 4 < m.rows().min(m.cols()) {
+                truncated_svd_gram(m, k)?
+            } else {
+                svd(m)?.truncate(k)
+            }
+        }
+    };
+    Ok(SliceSvd {
+        u: d.u,
+        s: d.s,
+        v: d.v,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtucker_tensor::random::low_rank_plus_noise;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn config(j: usize, n: usize) -> DTuckerConfig {
+        DTuckerConfig::uniform(j, n).with_seed(7)
+    }
+
+    #[test]
+    fn compress_low_rank_is_nearly_exact() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = low_rank_plus_noise(&[20, 16, 6], &[3, 3, 3], 0.0, &mut rng).unwrap();
+        let st = SlicedTensor::compress(&x, &config(3, 3)).unwrap();
+        assert_eq!(st.num_slices(), 6);
+        let err = st.compression_error_sq(&x).unwrap();
+        assert!(err < 1e-12, "compression error {err}");
+    }
+
+    #[test]
+    fn compress_reorders_modes_descending() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let x = low_rank_plus_noise(&[6, 30, 20], &[2, 2, 2], 0.0, &mut rng).unwrap();
+        let st = SlicedTensor::compress(&x, &config(2, 3)).unwrap();
+        // Internal shape must be sorted descending: 30, 20, 6.
+        assert_eq!(st.shape(), &[30, 20, 6]);
+        assert_eq!(st.perm(), &[1, 2, 0]);
+        // Reconstruction comes back in the original order.
+        let rec = st.reconstruct().unwrap();
+        assert_eq!(rec.shape(), &[6, 30, 20]);
+        assert!(x.relative_error_sq(&rec).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn keep_last_layout() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = low_rank_plus_noise(&[10, 30, 12], &[2, 2, 2], 0.0, &mut rng).unwrap();
+        let st = SlicedTensor::compress_keep_last(&x, &config(2, 3)).unwrap();
+        // First two sorted among modes 0..1 (30, 10), last stays 12.
+        assert_eq!(st.shape(), &[30, 10, 12]);
+        assert_eq!(st.perm(), &[1, 0, 2]);
+    }
+
+    #[test]
+    fn memory_is_much_smaller_than_dense() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let x = low_rank_plus_noise(&[60, 50, 20], &[3, 3, 3], 0.05, &mut rng).unwrap();
+        let st = SlicedTensor::compress(&x, &config(3, 3)).unwrap();
+        assert!(st.memory_bytes() < st.dense_bytes() / 2);
+        assert!(st.compression_ratio() > 2.0);
+        // Slice rank = max(J1,J2)+oversample = 8.
+        assert_eq!(st.slice_rank(), 8);
+        assert_eq!(st.memory_bytes(), 20 * (60 * 8 + 8 + 50 * 8) * 8);
+    }
+
+    #[test]
+    fn parallel_compression_matches_serial() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let x = low_rank_plus_noise(&[24, 20, 8], &[3, 3, 3], 0.1, &mut rng).unwrap();
+        let serial = SlicedTensor::compress(&x, &config(3, 3)).unwrap();
+        let parallel = SlicedTensor::compress(&x, &config(3, 3).with_threads(4)).unwrap();
+        assert_eq!(serial.num_slices(), parallel.num_slices());
+        for (a, b) in serial.slices().iter().zip(parallel.slices().iter()) {
+            assert_eq!(a.s, b.s, "threaded compression must be deterministic");
+            assert_eq!(a.u, b.u);
+        }
+    }
+
+    #[test]
+    fn exact_svd_never_worse_than_randomized() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let x = low_rank_plus_noise(&[30, 25, 6], &[4, 4, 4], 0.3, &mut rng).unwrap();
+        let mut c = config(4, 3);
+        let randomized = SlicedTensor::compress(&x, &c).unwrap();
+        c.slice_svd = SliceSvdKind::Exact;
+        let exact = SlicedTensor::compress(&x, &c).unwrap();
+        let e_r = randomized.compression_error_sq(&x).unwrap();
+        let e_e = exact.compression_error_sq(&x).unwrap();
+        assert!(e_e <= e_r + 1e-10, "exact {e_e} vs randomized {e_r}");
+    }
+
+    #[test]
+    fn order4_tensor_slices() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let x = low_rank_plus_noise(&[12, 10, 4, 3], &[2, 2, 2, 2], 0.0, &mut rng).unwrap();
+        let st = SlicedTensor::compress(&x, &config(2, 4)).unwrap();
+        assert_eq!(st.num_slices(), 12);
+        assert!(st.compression_error_sq(&x).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn norm_bookkeeping() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let x = low_rank_plus_noise(&[15, 12, 5], &[2, 2, 2], 0.0, &mut rng).unwrap();
+        let st = SlicedTensor::compress(&x, &config(2, 3)).unwrap();
+        assert!((st.norm_x_sq() - x.fro_norm_sq()).abs() < 1e-9);
+        // Lossless compression ⇒ compressed norm equals original.
+        assert!((st.compressed_norm_sq() - x.fro_norm_sq()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn append_block_streaming() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let x = low_rank_plus_noise(&[10, 20, 12], &[2, 2, 2], 0.0, &mut rng).unwrap();
+        let head = x.subtensor_last(0, 8).unwrap();
+        let tail = x.subtensor_last(8, 12).unwrap();
+        let cfg = config(2, 3);
+        let mut st = SlicedTensor::compress_keep_last(&head, &cfg).unwrap();
+        let before = st.num_slices();
+        st.append_block(&tail, &cfg).unwrap();
+        assert_eq!(st.num_slices(), before + 4);
+        assert_eq!(st.shape()[2], 12);
+        let full = SlicedTensor::compress_keep_last(&x, &cfg).unwrap();
+        assert_eq!(st.num_slices(), full.num_slices());
+        assert!(st.compression_error_sq(&x).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn append_block_validates() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let x = low_rank_plus_noise(&[8, 10, 6], &[2, 2, 2], 0.0, &mut rng).unwrap();
+        let cfg = config(2, 3);
+        // Wrong layout (plain compress moved the last mode).
+        let mut st = SlicedTensor::compress(&x, &cfg).unwrap();
+        if st.perm().last() != Some(&2) {
+            assert!(st.append_block(&x, &cfg).is_err());
+        }
+        // Wrong leading shape.
+        let mut st = SlicedTensor::compress_keep_last(&x, &cfg).unwrap();
+        let bad = DenseTensor::zeros(&[8, 11, 2]).unwrap();
+        assert!(st.append_block(&bad, &cfg).is_err());
+        let bad_order = DenseTensor::zeros(&[8, 10]).unwrap();
+        assert!(st.append_block(&bad_order, &cfg).is_err());
+    }
+
+    #[test]
+    fn adaptive_compression_varies_slice_ranks() {
+        use dtucker_linalg::gemm::matmul_t;
+        use dtucker_linalg::qr::orthonormalize;
+        use dtucker_linalg::random::gaussian_matrix;
+        // Hand-build a tensor whose slices have very different ranks:
+        // slice 0 is rank 1, slice 1 is rank 6, slices 2..4 are rank 3.
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut slices_mats = Vec::new();
+        for rank in [1usize, 6, 3, 3] {
+            let u = orthonormalize(&gaussian_matrix(30, rank, &mut rng));
+            let v = orthonormalize(&gaussian_matrix(24, rank, &mut rng));
+            let mut m = matmul_t(&u, &v);
+            m.scale(5.0);
+            slices_mats.push(m);
+        }
+        let x = DenseTensor::from_frontal_slices(&[30, 24, 4], &slices_mats).unwrap();
+        let mut cfg = config(3, 3);
+        cfg.slice_rank = Some(8);
+        cfg.slice_svd = SliceSvdKind::Exact;
+        let st = SlicedTensor::compress_adaptive(&x, 1e-10, &cfg).unwrap();
+        let ranks = st.slice_ranks();
+        assert_eq!(ranks[0], 3, "rank-1 slice floors at the Tucker rank");
+        assert_eq!(ranks[1], 6, "rank-6 slice keeps 6 vectors");
+        assert_eq!(ranks[2], 3);
+        // Adaptive storage is smaller than the uniform budget.
+        let uniform = SlicedTensor::compress(&x, &cfg).unwrap();
+        assert!(st.memory_bytes() < uniform.memory_bytes());
+        // And reconstruction stays accurate.
+        assert!(st.compression_error_sq(&x).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn adaptive_validates_epsilon() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let x = low_rank_plus_noise(&[10, 8, 3], &[2, 2, 2], 0.0, &mut rng).unwrap();
+        let cfg = config(2, 3);
+        assert!(SlicedTensor::compress_adaptive(&x, 1.0, &cfg).is_err());
+        assert!(SlicedTensor::compress_adaptive(&x, -0.1, &cfg).is_err());
+        let st = SlicedTensor::compress_adaptive(&x, 0.01, &cfg).unwrap();
+        assert_eq!(st.slice_ranks().len(), 3);
+    }
+
+    #[test]
+    fn adaptive_slices_still_decompose() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let x = low_rank_plus_noise(&[24, 20, 10], &[3, 3, 3], 0.02, &mut rng).unwrap();
+        let cfg = config(3, 3);
+        let st = SlicedTensor::compress_adaptive(&x, 1e-3, &cfg).unwrap();
+        let out = crate::dtucker::DTucker::new(cfg)
+            .decompose_sliced(&st)
+            .unwrap();
+        let err = out.decomposition.relative_error_sq(&x).unwrap();
+        assert!(err < 0.01, "error {err}");
+    }
+
+    #[test]
+    fn sparse_compression_matches_dense_pipeline() {
+        use dtucker_tensor::SparseTensor;
+        let mut rng = StdRng::seed_from_u64(20);
+        let x = low_rank_plus_noise(&[18, 14, 6], &[3, 3, 3], 0.05, &mut rng).unwrap();
+        // Keep every entry: the sparse tensor equals the dense one, so the
+        // two compression routes (same per-slice seeds) must agree exactly.
+        let sx = SparseTensor::sample_from_dense(&x, 1.0, &mut rng).unwrap();
+        let cfg = config(3, 3);
+        let dense_st = SlicedTensor::compress(&x, &cfg).unwrap();
+        let sparse_st = SlicedTensor::compress_sparse(&sx, &cfg).unwrap();
+        assert_eq!(sparse_st.num_slices(), dense_st.num_slices());
+        assert_eq!(sparse_st.perm(), dense_st.perm());
+        for (a, b) in sparse_st.slices().iter().zip(dense_st.slices().iter()) {
+            for (sa, sb) in a.s.iter().zip(b.s.iter()) {
+                assert!((sa - sb).abs() < 1e-9 * (1.0 + sb), "{sa} vs {sb}");
+            }
+        }
+        assert!((sparse_st.norm_x_sq() - dense_st.norm_x_sq()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sparse_compression_exact_kind() {
+        use dtucker_tensor::SparseTensor;
+        let mut rng = StdRng::seed_from_u64(21);
+        let x = low_rank_plus_noise(&[12, 10, 4], &[2, 2, 2], 0.0, &mut rng).unwrap();
+        let sx = SparseTensor::sample_from_dense(&x, 1.0, &mut rng).unwrap();
+        let mut cfg = config(2, 3);
+        cfg.slice_svd = SliceSvdKind::Exact;
+        let st = SlicedTensor::compress_sparse(&sx, &cfg).unwrap();
+        assert!(st.compression_error_sq(&x).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn slice_svd_helpers() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let x = low_rank_plus_noise(&[10, 8, 2], &[2, 2, 2], 0.0, &mut rng).unwrap();
+        let st = SlicedTensor::compress(&x, &config(2, 3)).unwrap();
+        let s0 = &st.slices()[0];
+        assert_eq!(s0.us().shape(), (10, st.slice_rank()));
+        assert_eq!(s0.vs().shape(), (8, st.slice_rank()));
+        let rec = s0.reconstruct();
+        assert_eq!(rec.shape(), (10, 8));
+        assert!(s0.memory_bytes() > 0);
+    }
+}

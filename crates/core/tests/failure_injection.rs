@@ -1,0 +1,112 @@
+//! Failure-injection and edge-case tests for the D-Tucker pipeline.
+
+use dtucker_core::{DTucker, DTuckerConfig, SlicedTensor};
+use dtucker_tensor::dense::DenseTensor;
+use dtucker_tensor::random::low_rank_plus_noise;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn all_zero_tensor_decomposes_cleanly() {
+    let x = DenseTensor::zeros(&[12, 10, 6]).unwrap();
+    let out = DTucker::new(DTuckerConfig::uniform(2, 3))
+        .decompose(&x)
+        .unwrap();
+    // Error against a zero tensor is defined as 0 (nothing to explain).
+    assert_eq!(out.decomposition.relative_error_sq(&x).unwrap(), 0.0);
+    assert!(out.decomposition.core.fro_norm() < 1e-12);
+    assert_eq!(out.decomposition.ranks(), &[2, 2, 2]);
+}
+
+#[test]
+fn nan_and_inf_inputs_are_rejected_not_propagated() {
+    let mut rng = StdRng::seed_from_u64(1);
+    for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+        let mut x = low_rank_plus_noise(&[10, 8, 6], &[2, 2, 2], 0.0, &mut rng).unwrap();
+        x.set(&[3, 3, 3], bad);
+        let err = DTucker::new(DTuckerConfig::uniform(2, 3)).decompose(&x);
+        assert!(err.is_err(), "value {bad} must be rejected");
+    }
+}
+
+#[test]
+fn rank_equal_to_dimension_is_exact() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let x = low_rank_plus_noise(&[6, 6, 6], &[6, 6, 6], 0.2, &mut rng).unwrap();
+    let mut cfg = DTuckerConfig::uniform(6, 3);
+    cfg.slice_rank = Some(6); // slices cannot hold more than min(I1,I2)=6
+    let out = DTucker::new(cfg).decompose(&x).unwrap();
+    // Full-rank decomposition of any tensor is exact (up to round-off).
+    let err = out.decomposition.relative_error_sq(&x).unwrap();
+    assert!(err < 1e-9, "full-rank error {err}");
+}
+
+#[test]
+fn order2_matrix_case_works() {
+    // An order-2 "tensor" is just a matrix: one frontal slice, and D-Tucker
+    // reduces to a two-sided SVD-like factorization.
+    let mut rng = StdRng::seed_from_u64(3);
+    let x = low_rank_plus_noise(&[30, 20], &[3, 3], 0.01, &mut rng).unwrap();
+    let out = DTucker::new(DTuckerConfig::uniform(3, 2).with_seed(4))
+        .decompose(&x)
+        .unwrap();
+    assert_eq!(out.sliced.num_slices(), 1);
+    let err = out.decomposition.relative_error_sq(&x).unwrap();
+    assert!(err < 0.01, "error {err}");
+}
+
+#[test]
+fn extremely_skewed_shapes() {
+    let mut rng = StdRng::seed_from_u64(5);
+    // Long and thin in different positions.
+    for shape in [[200usize, 4, 4], [4, 200, 4], [4, 4, 200]] {
+        let ranks = vec![2usize; 3];
+        let x = low_rank_plus_noise(&shape, &ranks, 0.02, &mut rng).unwrap();
+        let out = DTucker::new(DTuckerConfig::uniform(2, 3).with_seed(6))
+            .decompose(&x)
+            .unwrap();
+        let err = out.decomposition.relative_error_sq(&x).unwrap();
+        assert!(err < 0.05, "{shape:?}: error {err}");
+        assert_eq!(out.decomposition.full_shape(), shape.to_vec());
+    }
+}
+
+#[test]
+fn slice_rank_caps_at_slice_dims() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let x = low_rank_plus_noise(&[9, 7, 5], &[2, 2, 2], 0.0, &mut rng).unwrap();
+    let mut cfg = DTuckerConfig::uniform(2, 3);
+    cfg.slice_rank = Some(1000); // absurd request
+    let st = SlicedTensor::compress(&x, &cfg).unwrap();
+    assert_eq!(st.slice_rank(), 7, "capped at min(I1, I2)");
+    assert!(st.compression_error_sq(&x).unwrap() < 1e-10);
+}
+
+#[test]
+fn constant_tensor_is_rank_one() {
+    let x = DenseTensor::from_fn(&[14, 12, 8], |_| 3.5).unwrap();
+    let out = DTucker::new(DTuckerConfig::uniform(1, 3).with_seed(8))
+        .decompose(&x)
+        .unwrap();
+    let err = out.decomposition.relative_error_sq(&x).unwrap();
+    assert!(err < 1e-10, "constant tensor is exactly rank 1, got {err}");
+}
+
+#[test]
+fn duplicate_slices_compress_consistently() {
+    // A tensor whose frontal slices are all identical: every slice SVD
+    // should agree on the singular values.
+    let mut rng = StdRng::seed_from_u64(9);
+    let base = low_rank_plus_noise(&[16, 12], &[3, 3], 0.0, &mut rng).unwrap();
+    let slice = base.frontal_slice(0).unwrap();
+    let slices = vec![slice; 5];
+    let x = DenseTensor::from_frontal_slices(&[16, 12, 5], &slices).unwrap();
+    let cfg = DTuckerConfig::uniform(3, 3).with_seed(10);
+    let st = SlicedTensor::compress(&x, &cfg).unwrap();
+    let first = &st.slices()[0];
+    for sl in st.slices() {
+        for (a, b) in sl.s.iter().zip(first.s.iter()) {
+            assert!((a - b).abs() < 1e-8, "slice spectra should match");
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based tests for the D-Tucker pipeline.
+
+use dtucker_core::{DTucker, DTuckerConfig, SlicedTensor};
+use dtucker_tensor::random::low_rank_plus_noise;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: (shape, rank, noise, seed) for an order-3 tensor that is
+/// approximately low rank.
+fn case() -> impl Strategy<Value = (Vec<usize>, usize, f64, u64)> {
+    (
+        proptest::collection::vec(6usize..=20, 3),
+        2usize..=4,
+        0.0f64..0.2,
+        any::<u64>(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn decompose_invariants((shape, rank, noise, seed) in case()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ranks = vec![rank.min(*shape.iter().min().unwrap()); 3];
+        let x = low_rank_plus_noise(&shape, &ranks, noise, &mut rng).unwrap();
+        let mut cfg = DTuckerConfig::new(&ranks);
+        cfg.seed = seed;
+        let out = DTucker::new(cfg).decompose(&x).unwrap();
+        let d = &out.decomposition;
+
+        // Shapes are as requested, factors orthonormal.
+        prop_assert_eq!(d.ranks(), ranks.as_slice());
+        prop_assert_eq!(d.full_shape(), shape.clone());
+        prop_assert!(d.factors_orthonormal(1e-6));
+
+        // Error never exceeds 1 (predicting zero) and beats the noise level
+        // by a reasonable margin when the model rank matches the data.
+        let err = d.relative_error_sq(&x).unwrap();
+        prop_assert!(err.is_finite());
+        prop_assert!(err <= 1.0 + 1e-9);
+        let noise_floor = noise * noise / (1.0 + noise * noise);
+        prop_assert!(err <= 3.0 * noise_floor + 0.05, "err {} vs floor {}", err, noise_floor);
+
+        // The fit trace is monotone non-increasing (up to tiny jitter).
+        for w in out.trace.sweep_fits.windows(2) {
+            prop_assert!(w[1] <= w[0] + 1e-6);
+        }
+    }
+
+    #[test]
+    fn compression_error_bounded_by_slice_tail((shape, rank, noise, seed) in case()) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC0);
+        let ranks = vec![rank.min(*shape.iter().min().unwrap()); 3];
+        let x = low_rank_plus_noise(&shape, &ranks, noise, &mut rng).unwrap();
+        let mut cfg = DTuckerConfig::new(&ranks);
+        cfg.seed = seed;
+        let st = SlicedTensor::compress(&x, &cfg).unwrap();
+
+        // Norm bookkeeping is conserved.
+        prop_assert!((st.norm_x_sq() - x.fro_norm_sq()).abs() <= 1e-6 * (1.0 + x.fro_norm_sq()));
+        // Compressed energy never exceeds the original.
+        prop_assert!(st.compressed_norm_sq() <= st.norm_x_sq() * (1.0 + 1e-9));
+        // Reconstruction error matches the discarded energy:
+        // ‖X − X̃‖² ≈ ‖X‖² − ‖X̃‖² (slices are orthogonal projections).
+        let err = st.compression_error_sq(&x).unwrap();
+        let tail = (st.norm_x_sq() - st.compressed_norm_sq()).max(0.0) / st.norm_x_sq();
+        prop_assert!((err - tail).abs() <= 0.25 * tail + 1e-6, "err {} vs tail {}", err, tail);
+    }
+
+    #[test]
+    fn decompose_sliced_matches_decompose((shape, rank, noise, seed) in case()) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xD1);
+        let ranks = vec![rank.min(*shape.iter().min().unwrap()); 3];
+        let x = low_rank_plus_noise(&shape, &ranks, noise, &mut rng).unwrap();
+        let mut cfg = DTuckerConfig::new(&ranks);
+        cfg.seed = seed;
+        let direct = DTucker::new(cfg.clone()).decompose(&x).unwrap();
+        let sliced = SlicedTensor::compress(&x, &cfg).unwrap();
+        let reused = DTucker::new(cfg).decompose_sliced(&sliced).unwrap();
+        // Identical compression + identical deterministic iterations ⇒
+        // identical cores.
+        prop_assert!(
+            direct.decomposition.core.sub(&reused.decomposition.core).unwrap().fro_norm()
+                < 1e-9 * (1.0 + direct.decomposition.core.fro_norm())
+        );
+    }
+}

@@ -1,0 +1,121 @@
+//! Absorb-analog: an order-4 climate tensor of shape
+//! `(latitude, longitude, altitude, time)` — smooth geographic fields with
+//! altitude attenuation profiles and a slow seasonal drift. Its purpose in
+//! the suite is to exercise all N > 3 code paths (the frontal-slice count
+//! becomes `L = I₃·I₄`).
+
+use crate::synthetic::{separable_sum, smooth_profile};
+use dtucker_tensor::dense::DenseTensor;
+use dtucker_tensor::error::Result;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Climate generator parameters.
+#[derive(Debug, Clone)]
+pub struct ClimateConfig {
+    /// Latitude grid size `I₁`.
+    pub lat: usize,
+    /// Longitude grid size `I₂`.
+    pub lon: usize,
+    /// Altitude levels `I₃`.
+    pub alt: usize,
+    /// Timesteps `I₄` (the temporal mode).
+    pub timesteps: usize,
+    /// Latent components.
+    pub latent: usize,
+    /// Noise standard deviation.
+    pub noise_sigma: f64,
+}
+
+impl ClimateConfig {
+    /// A small default suitable for tests and CI benchmarks.
+    pub fn new(lat: usize, lon: usize, alt: usize, timesteps: usize) -> Self {
+        ClimateConfig {
+            lat,
+            lon,
+            alt,
+            timesteps,
+            latent: 3,
+            noise_sigma: 0.03,
+        }
+    }
+}
+
+/// Generates the climate tensor (shape `[lat, lon, alt, time]`).
+pub fn climate(cfg: &ClimateConfig, seed: u64) -> Result<DenseTensor> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut terms = Vec::with_capacity(cfg.latent);
+    for _ in 0..cfg.latent {
+        let lat = smooth_profile(cfg.lat, 2, &mut rng);
+        let lon = smooth_profile(cfg.lon, 3, &mut rng);
+        // Aerosol absorption decays with altitude, with a random scale
+        // height.
+        let scale_h = rng.gen_range(0.2..0.6);
+        let alt: Vec<f64> = (0..cfg.alt)
+            .map(|a| (-(a as f64) / (scale_h * cfg.alt.max(1) as f64)).exp())
+            .collect();
+        // Seasonal cycle plus slow drift.
+        let season_phase = rng.gen_range(0.0..std::f64::consts::TAU);
+        let drift = rng.gen_range(-0.2..0.2);
+        let time: Vec<f64> = (0..cfg.timesteps)
+            .map(|t| {
+                let frac = t as f64 / cfg.timesteps.max(1) as f64;
+                1.0 + 0.5 * (std::f64::consts::TAU * frac * 4.0 + season_phase).sin() + drift * frac
+            })
+            .collect();
+        terms.push(vec![lat, lon, alt, time]);
+    }
+    separable_sum(
+        &[cfg.lat, cfg.lon, cfg.alt, cfg.timesteps],
+        &terms,
+        cfg.noise_sigma,
+        &mut rng,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_determinism() {
+        let cfg = ClimateConfig::new(10, 12, 5, 8);
+        let a = climate(&cfg, 1).unwrap();
+        assert_eq!(a.shape(), &[10, 12, 5, 8]);
+        assert_eq!(a, climate(&cfg, 1).unwrap());
+        assert_eq!(a.order(), 4);
+    }
+
+    #[test]
+    fn absorption_decays_with_altitude() {
+        let mut cfg = ClimateConfig::new(8, 8, 10, 4);
+        cfg.noise_sigma = 0.0;
+        let x = climate(&cfg, 2).unwrap();
+        // Mean |value| at the bottom level should exceed the top level.
+        let level_energy = |a: usize| -> f64 {
+            let mut acc = 0.0;
+            for t in 0..4 {
+                for j in 0..8 {
+                    for i in 0..8 {
+                        acc += x.get(&[i, j, a, t]).abs();
+                    }
+                }
+            }
+            acc
+        };
+        assert!(level_energy(0) > level_energy(9));
+    }
+
+    #[test]
+    fn noiseless_is_low_rank() {
+        let mut cfg = ClimateConfig::new(10, 10, 6, 8);
+        cfg.noise_sigma = 0.0;
+        let x = climate(&cfg, 3).unwrap();
+        for mode in 0..4 {
+            let unf = dtucker_tensor::unfold::unfold(&x, mode).unwrap();
+            let svd = dtucker_linalg::svd::svd(&unf).unwrap();
+            let idx = cfg.latent.min(svd.s.len() - 1);
+            assert!(svd.s[idx] < 1e-8 * svd.s[0], "mode {mode}");
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Hyperspectral-image analog: shape `(height, width, band)` — a linear
+//! mixing model: spatially smooth endmember abundance maps × smooth
+//! spectral signatures, plus sensor noise. The trait that matters: a very
+//! large `I₁×I₂` slice with a modest number of slices (bands).
+
+use dtucker_linalg::random::gaussian;
+use dtucker_tensor::dense::DenseTensor;
+use dtucker_tensor::error::Result;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// HSI generator parameters.
+#[derive(Debug, Clone)]
+pub struct HsiConfig {
+    /// Image height `I₁`.
+    pub height: usize,
+    /// Image width `I₂`.
+    pub width: usize,
+    /// Spectral bands `I₃`.
+    pub bands: usize,
+    /// Number of endmembers (materials).
+    pub endmembers: usize,
+    /// Noise standard deviation.
+    pub noise_sigma: f64,
+}
+
+impl HsiConfig {
+    /// A small default suitable for tests and CI benchmarks.
+    pub fn new(height: usize, width: usize, bands: usize) -> Self {
+        HsiConfig {
+            height,
+            width,
+            bands,
+            endmembers: 4,
+            noise_sigma: 0.02,
+        }
+    }
+}
+
+/// Generates the hyperspectral tensor (shape `[height, width, bands]`).
+pub fn hsi(cfg: &HsiConfig, seed: u64) -> Result<DenseTensor> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (h, w, b_n) = (cfg.height, cfg.width, cfg.bands);
+
+    // Endmember abundance maps: Gaussian patches over the scene (separable
+    // per endmember ⇒ overall multilinear rank ≤ endmembers).
+    let mut maps: Vec<(Vec<f64>, Vec<f64>)> = Vec::with_capacity(cfg.endmembers);
+    for _ in 0..cfg.endmembers {
+        let cy = rng.gen_range(0.2..0.8);
+        let cx = rng.gen_range(0.2..0.8);
+        let sy = rng.gen_range(0.1..0.3);
+        let sx = rng.gen_range(0.1..0.3);
+        let col: Vec<f64> = (0..h)
+            .map(|i| {
+                let t = i as f64 / h.max(1) as f64;
+                (-(t - cy) * (t - cy) / (2.0 * sy * sy)).exp()
+            })
+            .collect();
+        let row: Vec<f64> = (0..w)
+            .map(|j| {
+                let t = j as f64 / w.max(1) as f64;
+                (-(t - cx) * (t - cx) / (2.0 * sx * sx)).exp()
+            })
+            .collect();
+        maps.push((col, row));
+    }
+
+    // Smooth spectral signatures: Gaussian absorption features on a ramp.
+    let mut spectra: Vec<Vec<f64>> = Vec::with_capacity(cfg.endmembers);
+    for _ in 0..cfg.endmembers {
+        let ramp = rng.gen_range(0.2..0.8);
+        let c1 = rng.gen_range(0.1..0.9);
+        let w1 = rng.gen_range(0.03..0.1);
+        let a1 = rng.gen_range(0.2..0.6);
+        spectra.push(
+            (0..b_n)
+                .map(|b| {
+                    let t = b as f64 / b_n.max(1) as f64;
+                    ramp + 0.4 * t - a1 * (-(t - c1) * (t - c1) / (2.0 * w1 * w1)).exp()
+                })
+                .collect(),
+        );
+    }
+
+    let mut x = DenseTensor::zeros(&[h, w, b_n])?;
+    let data = x.as_mut_slice();
+    for b in 0..b_n {
+        let frame = &mut data[b * h * w..(b + 1) * h * w];
+        for (e, (col, row)) in maps.iter().enumerate() {
+            let sval = spectra[e][b];
+            for j in 0..w {
+                let rj = row[j] * sval;
+                if rj == 0.0 {
+                    continue;
+                }
+                let seg = &mut frame[j * h..(j + 1) * h];
+                for (v, &cv) in seg.iter_mut().zip(col.iter()) {
+                    *v += rj * cv;
+                }
+            }
+        }
+        if cfg.noise_sigma > 0.0 {
+            for v in frame.iter_mut() {
+                *v += cfg.noise_sigma * gaussian(&mut rng);
+            }
+        }
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_determinism() {
+        let cfg = HsiConfig::new(20, 18, 12);
+        let a = hsi(&cfg, 1).unwrap();
+        assert_eq!(a.shape(), &[20, 18, 12]);
+        assert_eq!(a, hsi(&cfg, 1).unwrap());
+    }
+
+    #[test]
+    fn noiseless_rank_bounded_by_endmembers() {
+        let mut cfg = HsiConfig::new(24, 20, 16);
+        cfg.noise_sigma = 0.0;
+        let x = hsi(&cfg, 2).unwrap();
+        for mode in 0..3 {
+            let unf = dtucker_tensor::unfold::unfold(&x, mode).unwrap();
+            let svd = dtucker_linalg::svd::svd(&unf).unwrap();
+            let idx = cfg.endmembers.min(svd.s.len() - 1);
+            assert!(
+                svd.s[idx] < 1e-8 * svd.s[0],
+                "mode {mode}: σ = {:?}",
+                &svd.s[..idx + 1]
+            );
+        }
+    }
+
+    #[test]
+    fn spectra_vary_across_bands() {
+        let mut cfg = HsiConfig::new(16, 16, 20);
+        cfg.noise_sigma = 0.0;
+        let x = hsi(&cfg, 3).unwrap();
+        let b0 = x.frontal_slice(0).unwrap();
+        let b10 = x.frontal_slice(10).unwrap();
+        assert!(b0.max_abs_diff(&b10) > 1e-3);
+    }
+}

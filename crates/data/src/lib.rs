@@ -1,0 +1,29 @@
+//! # dtucker-data
+//!
+//! Seeded synthetic workload generators standing in for the real datasets
+//! of the D-Tucker evaluation (which cannot be redistributed here). Each
+//! generator preserves the structural property its real counterpart
+//! stresses — see `DESIGN.md` §5 for the substitution table.
+//!
+//! * [`video`] — Boats-like surveillance video;
+//! * [`airquality`] — station × pollutant × day panel;
+//! * [`traffic`] — sensor × time-of-day × day volumes;
+//! * [`hsi`] — hyperspectral linear-mixing scene;
+//! * [`climate`] — order-4 aerosol-absorption field;
+//! * [`stock`] — stock × feature × day market panel with latent sectors;
+//! * [`registry`] — named presets at CI / bench / paper scales;
+//! * [`synthetic`] — the shared separable-sum building blocks.
+
+#![warn(missing_docs)]
+#![allow(clippy::needless_range_loop)]
+
+pub mod airquality;
+pub mod climate;
+pub mod hsi;
+pub mod registry;
+pub mod stock;
+pub mod synthetic;
+pub mod traffic;
+pub mod video;
+
+pub use registry::{generate, parse_scale, shape_of, Dataset, Scale};

@@ -1,0 +1,193 @@
+//! Dataset registry: named analogs of the D-Tucker evaluation datasets with
+//! CI-scale and paper-scale presets.
+
+use crate::airquality::{airquality, AirQualityConfig};
+use crate::climate::{climate, ClimateConfig};
+use crate::hsi::{hsi, HsiConfig};
+use crate::stock::{stock, StockConfig};
+use crate::traffic::{traffic, TrafficConfig};
+use crate::video::{video, VideoConfig};
+use dtucker_tensor::dense::DenseTensor;
+use dtucker_tensor::error::{Result, TensorError};
+
+/// The analog datasets (see DESIGN.md §5 for the substitution rationale).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dataset {
+    /// Boats surveillance-video analog (order 3, two large spatial modes).
+    Boats,
+    /// Air-quality analog (order 3, one tiny mode, long time mode).
+    AirQuality,
+    /// Traffic-volume analog (order 3, very large leading mode).
+    Traffic,
+    /// Hyperspectral-image analog (order 3, huge slices, few of them).
+    Hsi,
+    /// Climate/aerosol-absorption analog (order 4).
+    Absorb,
+    /// Stock-market panel analog (stock × feature × day, latent sectors).
+    Stock,
+}
+
+impl Dataset {
+    /// All datasets, in the order the experiment tables print them.
+    pub const ALL: [Dataset; 6] = [
+        Dataset::Boats,
+        Dataset::AirQuality,
+        Dataset::Traffic,
+        Dataset::Hsi,
+        Dataset::Absorb,
+        Dataset::Stock,
+    ];
+
+    /// Canonical lowercase name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Dataset::Boats => "boats",
+            Dataset::AirQuality => "airquality",
+            Dataset::Traffic => "traffic",
+            Dataset::Hsi => "hsi",
+            Dataset::Absorb => "absorb",
+            Dataset::Stock => "stock",
+        }
+    }
+
+    /// Parses a dataset name.
+    pub fn parse(s: &str) -> Option<Dataset> {
+        Dataset::ALL
+            .iter()
+            .copied()
+            .find(|d| d.name() == s.to_lowercase())
+    }
+}
+
+/// Size presets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-per-experiment sizes for CI and local iteration.
+    Ci,
+    /// Medium sizes: minutes per experiment, clearly separates the methods.
+    Bench,
+    /// Paper-comparable sizes (gigabyte-class tensors; opt-in).
+    Paper,
+}
+
+/// Shape a dataset/scale combination will have, without generating it.
+pub fn shape_of(ds: Dataset, scale: Scale) -> Vec<usize> {
+    match (ds, scale) {
+        (Dataset::Boats, Scale::Ci) => vec![64, 48, 40],
+        (Dataset::Boats, Scale::Bench) => vec![160, 120, 200],
+        (Dataset::Boats, Scale::Paper) => vec![320, 240, 700],
+        (Dataset::AirQuality, Scale::Ci) => vec![60, 6, 100],
+        (Dataset::AirQuality, Scale::Bench) => vec![200, 6, 2000],
+        (Dataset::AirQuality, Scale::Paper) => vec![376, 6, 11688],
+        (Dataset::Traffic, Scale::Ci) => vec![100, 24, 30],
+        (Dataset::Traffic, Scale::Bench) => vec![400, 96, 120],
+        (Dataset::Traffic, Scale::Paper) => vec![1084, 96, 2000],
+        (Dataset::Hsi, Scale::Ci) => vec![48, 48, 20],
+        (Dataset::Hsi, Scale::Bench) => vec![160, 160, 60],
+        (Dataset::Hsi, Scale::Paper) => vec![512, 512, 191],
+        (Dataset::Absorb, Scale::Ci) => vec![24, 30, 6, 20],
+        (Dataset::Absorb, Scale::Bench) => vec![64, 96, 15, 60],
+        (Dataset::Absorb, Scale::Paper) => vec![192, 288, 30, 240],
+        (Dataset::Stock, Scale::Ci) => vec![80, 6, 60],
+        (Dataset::Stock, Scale::Bench) => vec![600, 20, 500],
+        (Dataset::Stock, Scale::Paper) => vec![3028, 54, 3050],
+    }
+}
+
+/// Generates a dataset analog deterministically.
+pub fn generate(ds: Dataset, scale: Scale, seed: u64) -> Result<DenseTensor> {
+    let shape = shape_of(ds, scale);
+    match ds {
+        Dataset::Boats => video(&VideoConfig::new(shape[0], shape[1], shape[2]), seed),
+        Dataset::AirQuality => {
+            airquality(&AirQualityConfig::new(shape[0], shape[1], shape[2]), seed)
+        }
+        Dataset::Traffic => traffic(&TrafficConfig::new(shape[0], shape[1], shape[2]), seed),
+        Dataset::Hsi => hsi(&HsiConfig::new(shape[0], shape[1], shape[2]), seed),
+        Dataset::Absorb => climate(
+            &ClimateConfig::new(shape[0], shape[1], shape[2], shape[3]),
+            seed,
+        ),
+        Dataset::Stock => stock(&StockConfig::new(shape[0], shape[1], shape[2]), seed),
+    }
+}
+
+/// Parses a scale name.
+pub fn parse_scale(s: &str) -> Result<Scale> {
+    match s.to_lowercase().as_str() {
+        "ci" => Ok(Scale::Ci),
+        "bench" => Ok(Scale::Bench),
+        "paper" => Ok(Scale::Paper),
+        other => Err(TensorError::Format(format!(
+            "unknown scale '{other}' (ci|bench|paper)"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for ds in Dataset::ALL {
+            assert_eq!(Dataset::parse(ds.name()), Some(ds));
+        }
+        assert_eq!(Dataset::parse("BOATS"), Some(Dataset::Boats));
+        assert_eq!(Dataset::parse("nope"), None);
+    }
+
+    #[test]
+    fn generate_matches_declared_shape() {
+        for ds in Dataset::ALL {
+            let x = generate(ds, Scale::Ci, 1).unwrap();
+            assert_eq!(
+                x.shape(),
+                shape_of(ds, Scale::Ci).as_slice(),
+                "{}",
+                ds.name()
+            );
+        }
+    }
+
+    #[test]
+    fn absorb_is_order4_others_order3() {
+        assert_eq!(shape_of(Dataset::Absorb, Scale::Ci).len(), 4);
+        for ds in [
+            Dataset::Boats,
+            Dataset::AirQuality,
+            Dataset::Traffic,
+            Dataset::Hsi,
+            Dataset::Stock,
+        ] {
+            assert_eq!(shape_of(ds, Scale::Ci).len(), 3);
+        }
+    }
+
+    #[test]
+    fn scales_are_ordered_by_volume() {
+        for ds in Dataset::ALL {
+            let ci: usize = shape_of(ds, Scale::Ci).iter().product();
+            let bench: usize = shape_of(ds, Scale::Bench).iter().product();
+            let paper: usize = shape_of(ds, Scale::Paper).iter().product();
+            assert!(ci < bench && bench < paper, "{}", ds.name());
+        }
+    }
+
+    #[test]
+    fn parse_scale_names() {
+        assert!(matches!(parse_scale("ci"), Ok(Scale::Ci)));
+        assert!(matches!(parse_scale("Bench"), Ok(Scale::Bench)));
+        assert!(matches!(parse_scale("PAPER"), Ok(Scale::Paper)));
+        assert!(parse_scale("huge").is_err());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(Dataset::AirQuality, Scale::Ci, 9).unwrap();
+        let b = generate(Dataset::AirQuality, Scale::Ci, 9).unwrap();
+        let c = generate(Dataset::AirQuality, Scale::Ci, 10).unwrap();
+        assert_eq!(a, b);
+        assert!(a.sub(&c).unwrap().fro_norm() > 0.0);
+    }
+}

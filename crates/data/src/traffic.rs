@@ -1,0 +1,164 @@
+//! Traffic-analog: shape `(sensor, time-of-day, day)` — strongly periodic
+//! volumes (rush hours, weekday/weekend alternation) with sensor mixtures
+//! and occasional bursts. Mirrors the BigTrafficData tensor's trait of one
+//! very large leading mode.
+
+use crate::synthetic::{bump_profile, smooth_profile};
+use dtucker_linalg::random::gaussian;
+use dtucker_tensor::dense::DenseTensor;
+use dtucker_tensor::error::Result;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Traffic generator parameters.
+#[derive(Debug, Clone)]
+pub struct TrafficConfig {
+    /// Number of road sensors `I₁` (large).
+    pub sensors: usize,
+    /// Intra-day sampling bins `I₂` (e.g. 96 = 15-minute bins).
+    pub bins: usize,
+    /// Number of days `I₃` (the temporal mode).
+    pub days: usize,
+    /// Latent mixture components.
+    pub latent: usize,
+    /// Noise standard deviation.
+    pub noise_sigma: f64,
+    /// Probability that a (sensor, day) pair carries an incident burst.
+    pub burst_rate: f64,
+}
+
+impl TrafficConfig {
+    /// A small default suitable for tests and CI benchmarks.
+    pub fn new(sensors: usize, bins: usize, days: usize) -> Self {
+        TrafficConfig {
+            sensors,
+            bins,
+            days,
+            latent: 4,
+            noise_sigma: 0.05,
+            burst_rate: 0.01,
+        }
+    }
+}
+
+/// Generates the traffic tensor (shape `[sensors, bins, days]`).
+pub fn traffic(cfg: &TrafficConfig, seed: u64) -> Result<DenseTensor> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (s_n, b_n, d_n) = (cfg.sensors, cfg.bins, cfg.days);
+
+    // Daily profiles: morning rush, evening rush, flat night.
+    let morning = bump_profile(b_n, 0.33, 0.06);
+    let evening = bump_profile(b_n, 0.72, 0.08);
+    let baseline: Vec<f64> = vec![0.2; b_n];
+    let profiles = [morning, evening, baseline];
+
+    // Per-latent-component sensor loadings and weekday factors.
+    let mut terms: Vec<(Vec<f64>, Vec<f64>, Vec<f64>)> = Vec::new();
+    for r in 0..cfg.latent {
+        let sensors: Vec<f64> = smooth_profile(s_n, 2 + r, &mut rng)
+            .iter()
+            .map(|v| 0.5 + 0.5 * v.abs())
+            .collect();
+        let profile = profiles[r % profiles.len()].clone();
+        // Day factor: weekday high, weekend low, mild seasonal drift.
+        let weekday_amp = rng.gen_range(0.7..1.0);
+        let weekend_amp = rng.gen_range(0.2..0.5);
+        let days: Vec<f64> = (0..d_n)
+            .map(|d| {
+                let dow = d % 7;
+                let base = if dow < 5 { weekday_amp } else { weekend_amp };
+                base * (1.0 + 0.1 * (d as f64 / 30.0).sin())
+            })
+            .collect();
+        terms.push((sensors, profile, days));
+    }
+
+    let mut x = DenseTensor::zeros(&[s_n, b_n, d_n])?;
+    let data = x.as_mut_slice();
+    for d in 0..d_n {
+        for b in 0..b_n {
+            let off = d * s_n * b_n + b * s_n;
+            for s in 0..s_n {
+                let mut acc = 0.0;
+                for (sv, pv, dv) in &terms {
+                    acc += sv[s] * pv[b] * dv[d];
+                }
+                data[off + s] = acc + cfg.noise_sigma * gaussian(&mut rng);
+            }
+        }
+    }
+
+    // Sparse incident bursts: a localized spike in one sensor's day.
+    let n_bursts = ((s_n * d_n) as f64 * cfg.burst_rate) as usize;
+    for _ in 0..n_bursts {
+        let s = rng.gen_range(0..s_n);
+        let d = rng.gen_range(0..d_n);
+        let b0 = rng.gen_range(0..b_n);
+        let amp = rng.gen_range(0.5..1.5);
+        for db in 0..(b_n / 12).max(1) {
+            let b = (b0 + db) % b_n;
+            data[d * s_n * b_n + b * s_n + s] += amp;
+        }
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_determinism() {
+        let cfg = TrafficConfig::new(30, 24, 14);
+        let a = traffic(&cfg, 1).unwrap();
+        assert_eq!(a.shape(), &[30, 24, 14]);
+        assert_eq!(a, traffic(&cfg, 1).unwrap());
+    }
+
+    #[test]
+    fn weekday_weekend_difference() {
+        let mut cfg = TrafficConfig::new(20, 24, 14);
+        cfg.noise_sigma = 0.0;
+        cfg.burst_rate = 0.0;
+        let x = traffic(&cfg, 2).unwrap();
+        // Day 2 (weekday) mean volume > day 5 (weekend).
+        let mean_day = |d: usize| -> f64 {
+            let mut acc = 0.0;
+            for b in 0..24 {
+                for s in 0..20 {
+                    acc += x.get(&[s, b, d]);
+                }
+            }
+            acc / (24.0 * 20.0)
+        };
+        assert!(
+            mean_day(2) > mean_day(5),
+            "{} vs {}",
+            mean_day(2),
+            mean_day(5)
+        );
+    }
+
+    #[test]
+    fn noiseless_is_low_rank() {
+        let mut cfg = TrafficConfig::new(24, 24, 14);
+        cfg.noise_sigma = 0.0;
+        cfg.burst_rate = 0.0;
+        let x = traffic(&cfg, 3).unwrap();
+        let unf = dtucker_tensor::unfold::unfold(&x, 0).unwrap();
+        let svd = dtucker_linalg::svd::svd(&unf).unwrap();
+        let idx = cfg.latent.min(svd.s.len() - 1);
+        assert!(svd.s[idx] < 1e-8 * svd.s[0], "σ = {:?}", &svd.s[..idx + 1]);
+    }
+
+    #[test]
+    fn bursts_add_outliers() {
+        let mut cfg = TrafficConfig::new(20, 24, 10);
+        cfg.noise_sigma = 0.0;
+        cfg.burst_rate = 0.0;
+        let clean = traffic(&cfg, 4).unwrap();
+        cfg.burst_rate = 0.05;
+        let bursty = traffic(&cfg, 4).unwrap();
+        assert!(bursty.sub(&clean).unwrap().fro_norm() > 0.0);
+    }
+}

@@ -1,0 +1,174 @@
+//! Boats-analog: a grayscale surveillance video of shape
+//! `(height, width, time)` — a static smooth background with a handful of
+//! objects drifting across the frame plus pixel noise.
+//!
+//! The structural property that matters to the algorithms: the background is
+//! (numerically) rank-1 across time and each frame is approximately low
+//! rank, so the frontal-slice SVDs decay fast — the regime the Boats dataset
+//! puts D-Tucker in.
+
+use dtucker_linalg::random::gaussian;
+use dtucker_tensor::dense::DenseTensor;
+use dtucker_tensor::error::Result;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Video generator parameters.
+#[derive(Debug, Clone)]
+pub struct VideoConfig {
+    /// Frame height `I₁`.
+    pub height: usize,
+    /// Frame width `I₂`.
+    pub width: usize,
+    /// Number of frames `I₃` (the temporal mode).
+    pub frames: usize,
+    /// Number of moving objects.
+    pub blobs: usize,
+    /// Pixel-noise standard deviation (background intensity is O(1)).
+    pub noise_sigma: f64,
+}
+
+impl VideoConfig {
+    /// A small default suitable for tests and CI benchmarks.
+    pub fn new(height: usize, width: usize, frames: usize) -> Self {
+        VideoConfig {
+            height,
+            width,
+            frames,
+            blobs: 4,
+            noise_sigma: 0.02,
+        }
+    }
+}
+
+/// Generates the video tensor (shape `[height, width, frames]`).
+pub fn video(cfg: &VideoConfig, seed: u64) -> Result<DenseTensor> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (h, w, t_len) = (cfg.height, cfg.width, cfg.frames);
+
+    // Smooth static background: separable vertical/horizontal gradients.
+    let bg_v: Vec<f64> = (0..h)
+        .map(|i| 0.6 + 0.3 * (std::f64::consts::PI * i as f64 / h.max(1) as f64).sin())
+        .collect();
+    let bg_h: Vec<f64> = (0..w)
+        .map(|j| 0.8 + 0.2 * (2.0 * std::f64::consts::PI * j as f64 / w.max(1) as f64).cos())
+        .collect();
+    let mut background = vec![0.0f64; h * w]; // column-major within a frame
+    for j in 0..w {
+        for i in 0..h {
+            background[j * h + i] = bg_v[i] * bg_h[j];
+        }
+    }
+
+    // Moving blobs: linear trajectories that wrap around.
+    struct Blob {
+        x0: f64,
+        y0: f64,
+        vx: f64,
+        vy: f64,
+        sigma: f64,
+        amp: f64,
+    }
+    let blobs: Vec<Blob> = (0..cfg.blobs)
+        .map(|_| Blob {
+            x0: rng.gen_range(0.0..w as f64),
+            y0: rng.gen_range(0.0..h as f64),
+            vx: rng.gen_range(-0.8..0.8) * w as f64 / t_len.max(1) as f64,
+            vy: rng.gen_range(-0.3..0.3) * h as f64 / t_len.max(1) as f64,
+            sigma: rng.gen_range(0.03..0.08) * (h.min(w)) as f64,
+            amp: rng.gen_range(0.4..0.9),
+        })
+        .collect();
+
+    let mut x = DenseTensor::zeros(&[h, w, t_len])?;
+    let data = x.as_mut_slice();
+    for t in 0..t_len {
+        let frame = &mut data[t * h * w..(t + 1) * h * w];
+        frame.copy_from_slice(&background);
+        for b in &blobs {
+            let cx = (b.x0 + b.vx * t as f64).rem_euclid(w as f64);
+            let cy = (b.y0 + b.vy * t as f64).rem_euclid(h as f64);
+            let r = (3.0 * b.sigma).ceil() as isize;
+            let inv2s2 = 1.0 / (2.0 * b.sigma * b.sigma);
+            for dj in -r..=r {
+                let j = (cx as isize + dj).rem_euclid(w as isize) as usize;
+                for di in -r..=r {
+                    let i = (cy as isize + di).rem_euclid(h as isize) as usize;
+                    let d2 = (dj * dj + di * di) as f64;
+                    frame[j * h + i] += b.amp * (-d2 * inv2s2).exp();
+                }
+            }
+        }
+        if cfg.noise_sigma > 0.0 {
+            for v in frame.iter_mut() {
+                *v += cfg.noise_sigma * gaussian(&mut rng);
+            }
+        }
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_determinism() {
+        let cfg = VideoConfig::new(16, 12, 10);
+        let a = video(&cfg, 7).unwrap();
+        let b = video(&cfg, 7).unwrap();
+        assert_eq!(a.shape(), &[16, 12, 10]);
+        assert_eq!(a, b);
+        let c = video(&cfg, 8).unwrap();
+        assert!(a.sub(&c).unwrap().fro_norm() > 0.0);
+    }
+
+    #[test]
+    fn frames_are_approximately_low_rank() {
+        let cfg = VideoConfig {
+            height: 24,
+            width: 20,
+            frames: 6,
+            blobs: 2,
+            noise_sigma: 0.0,
+        };
+        let x = video(&cfg, 1).unwrap();
+        let s = x.frontal_slice(0).unwrap();
+        let svd = dtucker_linalg::svd::svd(&s).unwrap();
+        // Rank-8 captures ≥ 95% of frame energy (smooth background is
+        // rank 1; blobs decay fast).
+        let total: f64 = svd.s.iter().map(|v| v * v).sum();
+        let head: f64 = svd.s[..8.min(svd.s.len())].iter().map(|v| v * v).sum();
+        assert!(head / total > 0.95, "captured {}", head / total);
+    }
+
+    #[test]
+    fn background_is_temporally_stable() {
+        let cfg = VideoConfig {
+            height: 20,
+            width: 16,
+            frames: 8,
+            blobs: 0,
+            noise_sigma: 0.0,
+        };
+        let x = video(&cfg, 2).unwrap();
+        let f0 = x.frontal_slice(0).unwrap();
+        let f5 = x.frontal_slice(5).unwrap();
+        assert!(f0.approx_eq(&f5, 1e-12), "static background must not move");
+    }
+
+    #[test]
+    fn blobs_move_over_time() {
+        let cfg = VideoConfig {
+            height: 20,
+            width: 16,
+            frames: 8,
+            blobs: 3,
+            noise_sigma: 0.0,
+        };
+        let x = video(&cfg, 3).unwrap();
+        let f0 = x.frontal_slice(0).unwrap();
+        let f7 = x.frontal_slice(7).unwrap();
+        assert!(f0.max_abs_diff(&f7) > 0.05, "blobs should move");
+    }
+}

@@ -1,0 +1,175 @@
+//! Cholesky decomposition of symmetric positive-definite matrices.
+
+use crate::error::{LinalgError, Result};
+use crate::matrix::Matrix;
+
+/// Cholesky factor `L` with `A = L Lᵀ`, `L` lower triangular.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factors a symmetric positive-definite matrix.
+    pub fn new(a: &Matrix) -> Result<Cholesky> {
+        let n = a.rows();
+        if a.cols() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "cholesky",
+                details: format!("matrix is {:?}, must be square", a.shape()),
+            });
+        }
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut acc = 0.5 * (a.get(i, j) + a.get(j, i));
+                for k in 0..j {
+                    acc -= l.get(i, k) * l.get(j, k);
+                }
+                if i == j {
+                    if acc <= 0.0 {
+                        return Err(LinalgError::NotPositiveDefinite);
+                    }
+                    l.set(i, j, acc.sqrt());
+                } else {
+                    l.set(i, j, acc / l.get(j, j));
+                }
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// The lower-triangular factor.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Solves `A x = b` via forward/back substitution.
+    pub fn solve_vec(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.l.rows();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "cholesky_solve",
+                details: format!("system size {n}, rhs length {}", b.len()),
+            });
+        }
+        let mut y = b.to_vec();
+        // L y = b.
+        for i in 0..n {
+            let mut acc = y[i];
+            for j in 0..i {
+                acc -= self.l.get(i, j) * y[j];
+            }
+            y[i] = acc / self.l.get(i, i);
+        }
+        // Lᵀ x = y.
+        for i in (0..n).rev() {
+            let mut acc = y[i];
+            for j in (i + 1)..n {
+                acc -= self.l.get(j, i) * y[j];
+            }
+            y[i] = acc / self.l.get(i, i);
+        }
+        Ok(y)
+    }
+
+    /// Solves `A X = B` column by column.
+    pub fn solve(&self, b: &Matrix) -> Result<Matrix> {
+        let n = self.l.rows();
+        if b.rows() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "cholesky_solve",
+                details: format!("system size {n}, rhs has {} rows", b.rows()),
+            });
+        }
+        let mut x = Matrix::zeros(n, b.cols());
+        for c in 0..b.cols() {
+            x.set_col(c, &self.solve_vec(&b.col(c))?);
+        }
+        Ok(x)
+    }
+
+    /// Log-determinant of the factored matrix (`2 Σ log Lᵢᵢ`).
+    pub fn log_det(&self) -> f64 {
+        (0..self.l.rows())
+            .map(|i| self.l.get(i, i).ln())
+            .sum::<f64>()
+            * 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::{gram, matmul, matmul_t};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_spd(n: usize, seed: u64) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Matrix::from_fn(n + 3, n, |_, _| rng.gen_range(-1.0..1.0));
+        let mut g = gram(&a);
+        for i in 0..n {
+            let v = g.get(i, i);
+            g.set(i, i, v + 0.1);
+        }
+        g
+    }
+
+    #[test]
+    fn factor_reconstructs() {
+        let a = random_spd(8, 1);
+        let ch = Cholesky::new(&a).unwrap();
+        let rec = matmul_t(ch.l(), ch.l());
+        assert!(rec.approx_eq(&a, 1e-10));
+        // L is lower triangular.
+        for i in 0..8 {
+            for j in (i + 1)..8 {
+                assert_eq!(ch.l().get(i, j), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_round_trip() {
+        let a = random_spd(12, 2);
+        let x_true: Vec<f64> = (0..12).map(|i| i as f64 * 0.3 - 1.0).collect();
+        let b = a.matvec(&x_true).unwrap();
+        let x = Cholesky::new(&a).unwrap().solve_vec(&b).unwrap();
+        for (got, want) in x.iter().zip(x_true.iter()) {
+            assert!((got - want).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn solve_matrix_rhs() {
+        let a = random_spd(6, 3);
+        let x_true = Matrix::from_fn(6, 4, |r, c| (r + c) as f64 * 0.1);
+        let b = matmul(&a, &x_true);
+        let x = Cholesky::new(&a).unwrap().solve(&b).unwrap();
+        assert!(x.approx_eq(&x_true, 1e-8));
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 1.0]).unwrap(); // eigenvalues 3, -1
+        assert!(matches!(
+            Cholesky::new(&a),
+            Err(LinalgError::NotPositiveDefinite)
+        ));
+    }
+
+    #[test]
+    fn rejects_non_square_and_bad_rhs() {
+        assert!(Cholesky::new(&Matrix::zeros(2, 3)).is_err());
+        let ch = Cholesky::new(&Matrix::identity(3)).unwrap();
+        assert!(ch.solve_vec(&[1.0]).is_err());
+        assert!(ch.solve(&Matrix::zeros(2, 1)).is_err());
+    }
+
+    #[test]
+    fn log_det_identity_is_zero() {
+        let ch = Cholesky::new(&Matrix::identity(5)).unwrap();
+        assert!(ch.log_det().abs() < 1e-12);
+    }
+}

@@ -1,0 +1,402 @@
+//! Symmetric eigendecomposition.
+//!
+//! Classic two-stage dense solver: Householder tridiagonalization (`tred2`)
+//! followed by the implicitly shifted QL iteration (`tql2`), both in the
+//! EISPACK/JAMA formulation. This is the backbone of the Gram-matrix routes
+//! used for truncated SVDs of large unfoldings.
+
+use crate::error::{LinalgError, Result};
+use crate::matrix::Matrix;
+
+/// Eigendecomposition `A = V diag(λ) Vᵀ` of a symmetric matrix.
+#[derive(Debug, Clone)]
+pub struct SymEig {
+    /// Eigenvalues in **ascending** order.
+    pub values: Vec<f64>,
+    /// Orthonormal eigenvectors; column `j` pairs with `values[j]`.
+    pub vectors: Matrix,
+}
+
+/// Maximum QL iterations per eigenvalue before reporting non-convergence.
+const MAX_QL_ITER: usize = 64;
+
+/// Computes the full eigendecomposition of a symmetric matrix.
+///
+/// The input is symmetrized as `(A + Aᵀ)/2` before factorization, so slight
+/// asymmetry from accumulated round-off in Gram products is harmless.
+pub fn sym_eig(a: &Matrix) -> Result<SymEig> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(LinalgError::DimensionMismatch {
+            op: "sym_eig",
+            details: format!("matrix is {:?}, must be square", a.shape()),
+        });
+    }
+    if n == 0 {
+        return Ok(SymEig {
+            values: vec![],
+            vectors: Matrix::zeros(0, 0),
+        });
+    }
+    // Symmetrize into the eigenvector workspace.
+    let mut v = Matrix::from_fn(n, n, |r, c| 0.5 * (a.get(r, c) + a.get(c, r)));
+    let mut d = vec![0.0; n];
+    let mut e = vec![0.0; n];
+    tred2(&mut v, &mut d, &mut e);
+    tql2(&mut v, &mut d, &mut e)?;
+    sort_ascending(&mut v, &mut d);
+    Ok(SymEig {
+        values: d,
+        vectors: v,
+    })
+}
+
+/// Returns the `k` eigenvectors with the largest eigenvalues, as the columns
+/// of an `n × k` matrix (ordered by descending eigenvalue).
+pub fn leading_eigvecs(a: &Matrix, k: usize) -> Result<Matrix> {
+    let n = a.rows();
+    if k > n {
+        return Err(LinalgError::InvalidArgument {
+            op: "leading_eigvecs",
+            details: format!("k = {k} exceeds matrix size {n}"),
+        });
+    }
+    let eig = sym_eig(a)?;
+    let mut out = Matrix::zeros(n, k);
+    for j in 0..k {
+        let src = n - 1 - j; // descending order
+        for r in 0..n {
+            out.set(r, j, eig.vectors.get(r, src));
+        }
+    }
+    Ok(out)
+}
+
+/// Householder reduction of `v` (symmetric, overwritten with the accumulated
+/// orthogonal transform) to tridiagonal form with diagonal `d` and
+/// sub-diagonal `e[1..]`.
+fn tred2(v: &mut Matrix, d: &mut [f64], e: &mut [f64]) {
+    let n = d.len();
+    for (j, dj) in d.iter_mut().enumerate() {
+        *dj = v.get(n - 1, j);
+    }
+
+    for i in (1..n).rev() {
+        // Scale to avoid under/overflow.
+        let mut scale = 0.0;
+        let mut h = 0.0;
+        for dk in d.iter().take(i) {
+            scale += dk.abs();
+        }
+        if scale == 0.0 {
+            e[i] = d[i - 1];
+            for j in 0..i {
+                d[j] = v.get(i - 1, j);
+                v.set(i, j, 0.0);
+                v.set(j, i, 0.0);
+            }
+        } else {
+            for dk in d.iter_mut().take(i) {
+                *dk /= scale;
+                h += *dk * *dk;
+            }
+            let f = d[i - 1];
+            let mut g = h.sqrt();
+            if f > 0.0 {
+                g = -g;
+            }
+            e[i] = scale * g;
+            h -= f * g;
+            d[i - 1] = f - g;
+            for ej in e.iter_mut().take(i) {
+                *ej = 0.0;
+            }
+            // Apply similarity transformation to remaining columns.
+            for j in 0..i {
+                let f = d[j];
+                v.set(j, i, f);
+                let mut g = e[j] + v.get(j, j) * f;
+                for k in (j + 1)..i {
+                    g += v.get(k, j) * d[k];
+                    e[k] += v.get(k, j) * f;
+                }
+                e[j] = g;
+            }
+            let mut f = 0.0;
+            for j in 0..i {
+                e[j] /= h;
+                f += e[j] * d[j];
+            }
+            let hh = f / (h + h);
+            for j in 0..i {
+                e[j] -= hh * d[j];
+            }
+            for j in 0..i {
+                let f = d[j];
+                let g = e[j];
+                for k in j..i {
+                    let cur = v.get(k, j);
+                    v.set(k, j, cur - (f * e[k] + g * d[k]));
+                }
+                d[j] = v.get(i - 1, j);
+                v.set(i, j, 0.0);
+            }
+        }
+        d[i] = h;
+    }
+
+    // Accumulate transformations.
+    for i in 0..(n - 1) {
+        let tmp = v.get(i, i);
+        v.set(n - 1, i, tmp);
+        v.set(i, i, 1.0);
+        let h = d[i + 1];
+        if h != 0.0 {
+            for (k, dk) in d.iter_mut().enumerate().take(i + 1) {
+                *dk = v.get(k, i + 1) / h;
+            }
+            for j in 0..=i {
+                let mut g = 0.0;
+                for k in 0..=i {
+                    g += v.get(k, i + 1) * v.get(k, j);
+                }
+                for (k, &dk) in d.iter().enumerate().take(i + 1) {
+                    let cur = v.get(k, j);
+                    v.set(k, j, cur - g * dk);
+                }
+            }
+        }
+        for k in 0..=i {
+            v.set(k, i + 1, 0.0);
+        }
+    }
+    for (j, dj) in d.iter_mut().enumerate() {
+        *dj = v.get(n - 1, j);
+        v.set(n - 1, j, 0.0);
+    }
+    v.set(n - 1, n - 1, 1.0);
+    e[0] = 0.0;
+}
+
+/// Implicit QL iteration with shifts on the tridiagonal (`d`, `e`), updating
+/// the accumulated transform `v` to the eigenvectors.
+fn tql2(v: &mut Matrix, d: &mut [f64], e: &mut [f64]) -> Result<()> {
+    let n = d.len();
+    for i in 1..n {
+        e[i - 1] = e[i];
+    }
+    e[n - 1] = 0.0;
+
+    let mut f = 0.0f64;
+    let mut tst1 = 0.0f64;
+    let eps = f64::EPSILON;
+    for l in 0..n {
+        tst1 = tst1.max(d[l].abs() + e[l].abs());
+        let mut m = l;
+        while m < n {
+            if e[m].abs() <= eps * tst1 {
+                break;
+            }
+            m += 1;
+        }
+        if m > l {
+            let mut iter = 0usize;
+            loop {
+                iter += 1;
+                if iter > MAX_QL_ITER {
+                    return Err(LinalgError::NonConvergence {
+                        op: "tql2",
+                        iterations: iter,
+                    });
+                }
+                // Compute implicit shift.
+                let g = d[l];
+                let mut p = (d[l + 1] - g) / (2.0 * e[l]);
+                let mut r = p.hypot(1.0);
+                if p < 0.0 {
+                    r = -r;
+                }
+                d[l] = e[l] / (p + r);
+                d[l + 1] = e[l] * (p + r);
+                let dl1 = d[l + 1];
+                let mut h = g - d[l];
+                for di in d.iter_mut().take(n).skip(l + 2) {
+                    *di -= h;
+                }
+                f += h;
+
+                // Implicit QL transformation.
+                p = d[m];
+                let mut c = 1.0f64;
+                let mut c2 = c;
+                let mut c3 = c;
+                let el1 = e[l + 1];
+                let mut s = 0.0f64;
+                let mut s2 = 0.0f64;
+                for i in (l..m).rev() {
+                    c3 = c2;
+                    c2 = c;
+                    s2 = s;
+                    let g = c * e[i];
+                    h = c * p;
+                    r = p.hypot(e[i]);
+                    e[i + 1] = s * r;
+                    s = e[i] / r;
+                    c = p / r;
+                    p = c * d[i] - s * g;
+                    d[i + 1] = h + s * (c * g + s * d[i]);
+                    // Accumulate eigenvectors.
+                    for k in 0..n {
+                        let h = v.get(k, i + 1);
+                        v.set(k, i + 1, s * v.get(k, i) + c * h);
+                        v.set(k, i, c * v.get(k, i) - s * h);
+                    }
+                }
+                p = -s * s2 * c3 * el1 * e[l] / dl1;
+                e[l] = s * p;
+                d[l] = c * p;
+                if e[l].abs() <= eps * tst1 {
+                    break;
+                }
+            }
+        }
+        d[l] += f;
+        e[l] = 0.0;
+    }
+    Ok(())
+}
+
+/// Selection sort of eigenpairs into ascending eigenvalue order.
+fn sort_ascending(v: &mut Matrix, d: &mut [f64]) {
+    let n = d.len();
+    for i in 0..n.saturating_sub(1) {
+        let mut k = i;
+        let mut p = d[i];
+        for (j, &dj) in d.iter().enumerate().take(n).skip(i + 1) {
+            if dj < p {
+                k = j;
+                p = dj;
+            }
+        }
+        if k != i {
+            d.swap(i, k);
+            for r in 0..n {
+                let tmp = v.get(r, i);
+                v.set(r, i, v.get(r, k));
+                v.set(r, k, tmp);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::{gram, matmul, t_matmul};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_sym(n: usize, seed: u64) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Matrix::from_fn(n, n, |_, _| rng.gen_range(-1.0..1.0));
+        Matrix::from_fn(n, n, |r, c| 0.5 * (a.get(r, c) + a.get(c, r)))
+    }
+
+    fn check_eig(a: &Matrix, tol: f64) {
+        let SymEig { values, vectors } = sym_eig(a).unwrap();
+        let n = a.rows();
+        // Ascending.
+        for w in values.windows(2) {
+            assert!(w[0] <= w[1] + 1e-12);
+        }
+        // Orthonormal eigenvectors.
+        assert!(t_matmul(&vectors, &vectors).approx_eq(&Matrix::identity(n), 1e-9));
+        // A V = V Λ.
+        let av = matmul(a, &vectors);
+        let vl = matmul(&vectors, &Matrix::from_diag(&values));
+        assert!(
+            av.approx_eq(&vl, tol),
+            "AV != VΛ, diff {}",
+            av.max_abs_diff(&vl)
+        );
+    }
+
+    #[test]
+    fn eig_diag() {
+        let a = Matrix::from_diag(&[3.0, 1.0, 2.0]);
+        let SymEig { values, .. } = sym_eig(&a).unwrap();
+        assert!((values[0] - 1.0).abs() < 1e-12);
+        assert!((values[1] - 2.0).abs() < 1e-12);
+        assert!((values[2] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eig_2x2_known() {
+        // [[2,1],[1,2]] has eigenvalues 1 and 3.
+        let a = Matrix::from_vec(2, 2, vec![2.0, 1.0, 1.0, 2.0]).unwrap();
+        let SymEig { values, .. } = sym_eig(&a).unwrap();
+        assert!((values[0] - 1.0).abs() < 1e-12);
+        assert!((values[1] - 3.0).abs() < 1e-12);
+        check_eig(&a, 1e-10);
+    }
+
+    #[test]
+    fn eig_random_sizes() {
+        for &(n, seed) in &[(1, 1u64), (2, 2), (5, 3), (10, 4), (40, 5), (100, 6)] {
+            check_eig(&random_sym(n, seed), 1e-8);
+        }
+    }
+
+    #[test]
+    fn eig_gram_is_psd() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = Matrix::from_fn(30, 8, |_, _| rng.gen_range(-1.0..1.0));
+        let g = gram(&a);
+        let SymEig { values, .. } = sym_eig(&g).unwrap();
+        for &v in &values {
+            assert!(v > -1e-9, "Gram eigenvalue {v} should be non-negative");
+        }
+        check_eig(&g, 1e-8);
+    }
+
+    #[test]
+    fn eig_repeated_eigenvalues() {
+        // Identity has all eigenvalues 1.
+        let a = Matrix::identity(6);
+        let SymEig { values, vectors } = sym_eig(&a).unwrap();
+        for &v in &values {
+            assert!((v - 1.0).abs() < 1e-12);
+        }
+        assert!(t_matmul(&vectors, &vectors).approx_eq(&Matrix::identity(6), 1e-10));
+    }
+
+    #[test]
+    fn eig_zero_matrix() {
+        let a = Matrix::zeros(4, 4);
+        let SymEig { values, .. } = sym_eig(&a).unwrap();
+        assert!(values.iter().all(|&v| v.abs() < 1e-14));
+    }
+
+    #[test]
+    fn eig_rejects_non_square() {
+        assert!(sym_eig(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn leading_eigvecs_order_and_shape() {
+        let a = Matrix::from_diag(&[1.0, 5.0, 3.0, 4.0]);
+        let top = leading_eigvecs(&a, 2).unwrap();
+        assert_eq!(top.shape(), (4, 2));
+        // Largest eigenvalue 5 lives at index 1 → first column is ±e₁.
+        assert!((top.get(1, 0).abs() - 1.0).abs() < 1e-10);
+        // Second largest eigenvalue 4 lives at index 3.
+        assert!((top.get(3, 1).abs() - 1.0).abs() < 1e-10);
+        assert!(leading_eigvecs(&a, 5).is_err());
+    }
+
+    #[test]
+    fn eig_empty() {
+        let e = sym_eig(&Matrix::zeros(0, 0)).unwrap();
+        assert!(e.values.is_empty());
+    }
+}

@@ -1,0 +1,115 @@
+//! Error types for the linear algebra substrate.
+
+use std::fmt;
+
+/// Errors produced by linear-algebra routines.
+///
+/// All public entry points that can fail on user input return
+/// `Result<_, LinalgError>`; panics are reserved for internal invariant
+/// violations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Operand shapes are incompatible for the requested operation.
+    DimensionMismatch {
+        /// Human-readable name of the operation, e.g. `"matmul"`.
+        op: &'static str,
+        /// Description of the conflicting shapes.
+        details: String,
+    },
+    /// A matrix required to be invertible is (numerically) singular.
+    Singular {
+        /// Operation that detected the singularity.
+        op: &'static str,
+    },
+    /// A matrix required to be symmetric positive definite is not.
+    NotPositiveDefinite,
+    /// An iterative method failed to converge within its iteration budget.
+    NonConvergence {
+        /// Algorithm name, e.g. `"tql2"`.
+        op: &'static str,
+        /// Iterations performed before giving up.
+        iterations: usize,
+    },
+    /// An argument value is out of range (e.g. a zero dimension or a rank
+    /// larger than `min(rows, cols)`).
+    InvalidArgument {
+        /// Operation that rejected the argument.
+        op: &'static str,
+        /// Description of the offending value.
+        details: String,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch { op, details } => {
+                write!(f, "dimension mismatch in {op}: {details}")
+            }
+            LinalgError::Singular { op } => write!(f, "singular matrix in {op}"),
+            LinalgError::NotPositiveDefinite => {
+                write!(f, "matrix is not symmetric positive definite")
+            }
+            LinalgError::NonConvergence { op, iterations } => {
+                write!(f, "{op} failed to converge after {iterations} iterations")
+            }
+            LinalgError::InvalidArgument { op, details } => {
+                write!(f, "invalid argument to {op}: {details}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, LinalgError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_all_variants() {
+        let cases: Vec<(LinalgError, &str)> = vec![
+            (
+                LinalgError::DimensionMismatch {
+                    op: "matmul",
+                    details: "2x3 * 4x5".into(),
+                },
+                "dimension mismatch in matmul: 2x3 * 4x5",
+            ),
+            (
+                LinalgError::Singular { op: "lu_solve" },
+                "singular matrix in lu_solve",
+            ),
+            (
+                LinalgError::NotPositiveDefinite,
+                "matrix is not symmetric positive definite",
+            ),
+            (
+                LinalgError::NonConvergence {
+                    op: "tql2",
+                    iterations: 30,
+                },
+                "tql2 failed to converge after 30 iterations",
+            ),
+            (
+                LinalgError::InvalidArgument {
+                    op: "rsvd",
+                    details: "rank 0".into(),
+                },
+                "invalid argument to rsvd: rank 0",
+            ),
+        ];
+        for (err, expected) in cases {
+            assert_eq!(err.to_string(), expected);
+        }
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&LinalgError::NotPositiveDefinite);
+    }
+}

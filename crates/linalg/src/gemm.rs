@@ -1,0 +1,403 @@
+//! Matrix multiplication kernels.
+//!
+//! Row-major blocked kernels with an `i-k-j` inner loop (the inner loop runs
+//! over contiguous rows of the right operand and the output, which the
+//! compiler auto-vectorizes). Large products are split across threads with
+//! `crossbeam` scoped threads.
+//!
+//! Shape mismatches are programming errors (the shapes in every caller are
+//! derived from tensor metadata), so like slice indexing these functions
+//! panic on mismatch; `try_matmul` is the checked front door for user-facing
+//! code.
+
+use crate::error::{LinalgError, Result};
+use crate::matrix::Matrix;
+
+/// Products with at least this many flops are run multi-threaded.
+const PAR_FLOP_THRESHOLD: usize = 1 << 23;
+
+/// Cache block size for the k dimension.
+const KB: usize = 64;
+
+fn threads_for(flops: usize) -> usize {
+    if flops < PAR_FLOP_THRESHOLD {
+        return 1;
+    }
+    std::thread::available_parallelism()
+        .map_or(1, |n| n.get())
+        .min(16)
+}
+
+/// `A * B`. Panics if `a.cols() != b.rows()`.
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "matmul shape mismatch: {:?} * {:?}",
+        a.shape(),
+        b.shape()
+    );
+    let (m, n, p) = (a.rows(), a.cols(), b.cols());
+    let mut c = Matrix::zeros(m, p);
+    let nthreads = threads_for(2 * m * n * p);
+    if nthreads <= 1 || m < 2 {
+        matmul_rows(a.as_slice(), b.as_slice(), c.as_mut_slice(), 0, m, n, p);
+        return c;
+    }
+    let chunk = m.div_ceil(nthreads);
+    let bdat = b.as_slice();
+    let adat = a.as_slice();
+    let cdat = c.as_mut_slice();
+    crossbeam::thread::scope(|s| {
+        for (t, cchunk) in cdat.chunks_mut(chunk * p).enumerate() {
+            let r0 = t * chunk;
+            let rows = cchunk.len() / p;
+            s.spawn(move |_| {
+                matmul_rows_into(&adat[r0 * n..(r0 + rows) * n], bdat, cchunk, rows, n, p);
+            });
+        }
+    })
+    .expect("matmul worker thread panicked");
+    c
+}
+
+/// Checked variant of [`matmul`].
+pub fn try_matmul(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    if a.cols() != b.rows() {
+        return Err(LinalgError::DimensionMismatch {
+            op: "matmul",
+            details: format!("{:?} * {:?}", a.shape(), b.shape()),
+        });
+    }
+    Ok(matmul(a, b))
+}
+
+/// Computes rows `r0..r1` of `C = A*B` into the full `c` buffer.
+fn matmul_rows(a: &[f64], b: &[f64], c: &mut [f64], r0: usize, r1: usize, n: usize, p: usize) {
+    matmul_rows_into(&a[r0 * n..r1 * n], b, &mut c[r0 * p..r1 * p], r1 - r0, n, p);
+}
+
+/// Dense kernel: `c (rows×p) = a (rows×n) * b (n×p)`, blocked over k.
+fn matmul_rows_into(a: &[f64], b: &[f64], c: &mut [f64], rows: usize, n: usize, p: usize) {
+    for kb in (0..n).step_by(KB) {
+        let kmax = (kb + KB).min(n);
+        for i in 0..rows {
+            let arow = &a[i * n..(i + 1) * n];
+            let crow = &mut c[i * p..(i + 1) * p];
+            for k in kb..kmax {
+                let aik = arow[k];
+                if aik == 0.0 {
+                    continue;
+                }
+                let brow = &b[k * p..(k + 1) * p];
+                for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
+                    *cv += aik * bv;
+                }
+            }
+        }
+    }
+}
+
+/// Raw-slice GEMM: `c (m×p) += a (m×n) · b (n×p)`, all row-major.
+///
+/// This is the batched-product entry point used by tensor n-mode products,
+/// where operands are contiguous windows of a tensor buffer rather than
+/// owned [`Matrix`] values. `c` must be zero-initialized by the caller if a
+/// plain product (not an accumulation) is wanted.
+///
+/// Panics if the slice lengths disagree with `(m, n, p)`.
+pub fn matmul_into(a: &[f64], b: &[f64], c: &mut [f64], m: usize, n: usize, p: usize) {
+    assert_eq!(a.len(), m * n, "matmul_into: bad lhs length");
+    assert_eq!(b.len(), n * p, "matmul_into: bad rhs length");
+    assert_eq!(c.len(), m * p, "matmul_into: bad out length");
+    matmul_rows_into(a, b, c, m, n, p);
+}
+
+/// Raw-slice transposed GEMM: `c (n×p) += aᵀ · b` for row-major
+/// `a (m×n)`, `b (m×p)`. See [`matmul_into`] for the calling convention.
+pub fn t_matmul_into(a: &[f64], b: &[f64], c: &mut [f64], m: usize, n: usize, p: usize) {
+    assert_eq!(a.len(), m * n, "t_matmul_into: bad lhs length");
+    assert_eq!(b.len(), m * p, "t_matmul_into: bad rhs length");
+    assert_eq!(c.len(), n * p, "t_matmul_into: bad out length");
+    t_matmul_cols(a, b, c, 0, n, m, n, p);
+}
+
+/// `Aᵀ * B`. Panics if `a.rows() != b.rows()`.
+pub fn t_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.rows(),
+        b.rows(),
+        "t_matmul shape mismatch: {:?}ᵀ * {:?}",
+        a.shape(),
+        b.shape()
+    );
+    let (m, n, p) = (a.rows(), a.cols(), b.cols());
+    let mut c = Matrix::zeros(n, p);
+    let nthreads = threads_for(2 * m * n * p);
+    let adat = a.as_slice();
+    let bdat = b.as_slice();
+    if nthreads <= 1 || n < 2 {
+        t_matmul_cols(adat, bdat, c.as_mut_slice(), 0, n, m, n, p);
+        return c;
+    }
+    let chunk = n.div_ceil(nthreads);
+    let cdat = c.as_mut_slice();
+    crossbeam::thread::scope(|s| {
+        for (t, cchunk) in cdat.chunks_mut(chunk * p).enumerate() {
+            let i0 = t * chunk;
+            let i1 = i0 + cchunk.len() / p;
+            s.spawn(move |_| {
+                // Each worker recomputes its own output rows; `cchunk` starts at row i0.
+                for r in 0..m {
+                    let arow = &adat[r * n..(r + 1) * n];
+                    let brow = &bdat[r * p..(r + 1) * p];
+                    for i in i0..i1 {
+                        let aik = arow[i];
+                        if aik == 0.0 {
+                            continue;
+                        }
+                        let crow = &mut cchunk[(i - i0) * p..(i - i0 + 1) * p];
+                        for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
+                            *cv += aik * bv;
+                        }
+                    }
+                }
+            });
+        }
+    })
+    .expect("t_matmul worker thread panicked");
+    c
+}
+
+#[allow(clippy::too_many_arguments)]
+/// Computes output rows `i0..i1` of `C = AᵀB` into the full `c` buffer.
+fn t_matmul_cols(
+    a: &[f64],
+    b: &[f64],
+    c: &mut [f64],
+    i0: usize,
+    i1: usize,
+    m: usize,
+    n: usize,
+    p: usize,
+) {
+    for r in 0..m {
+        let arow = &a[r * n..(r + 1) * n];
+        let brow = &b[r * p..(r + 1) * p];
+        for i in i0..i1 {
+            let aik = arow[i];
+            if aik == 0.0 {
+                continue;
+            }
+            let crow = &mut c[i * p..(i + 1) * p];
+            for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
+                *cv += aik * bv;
+            }
+        }
+    }
+}
+
+/// `A * Bᵀ`. Panics if `a.cols() != b.cols()`.
+pub fn matmul_t(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.cols(),
+        b.cols(),
+        "matmul_t shape mismatch: {:?} * {:?}ᵀ",
+        a.shape(),
+        b.shape()
+    );
+    let (m, n, p) = (a.rows(), a.cols(), b.rows());
+    let mut c = Matrix::zeros(m, p);
+    let adat = a.as_slice();
+    let bdat = b.as_slice();
+    let nthreads = threads_for(2 * m * n * p);
+    let body = |cchunk: &mut [f64], r0: usize| {
+        let rows = cchunk.len() / p;
+        for i in 0..rows {
+            let arow = &adat[(r0 + i) * n..(r0 + i + 1) * n];
+            for j in 0..p {
+                let brow = &bdat[j * n..(j + 1) * n];
+                cchunk[i * p + j] = crate::norms::dot(arow, brow);
+            }
+        }
+    };
+    if nthreads <= 1 || m < 2 {
+        body(c.as_mut_slice(), 0);
+        return c;
+    }
+    let chunk = m.div_ceil(nthreads);
+    crossbeam::thread::scope(|s| {
+        for (t, cchunk) in c.as_mut_slice().chunks_mut(chunk * p).enumerate() {
+            s.spawn(move |_| body(cchunk, t * chunk));
+        }
+    })
+    .expect("matmul_t worker thread panicked");
+    c
+}
+
+/// Symmetric Gram product `Aᵀ A` (only computes the upper triangle, then
+/// mirrors it).
+pub fn gram(a: &Matrix) -> Matrix {
+    let n = a.cols();
+    let m = a.rows();
+    let mut g = Matrix::zeros(n, n);
+    for r in 0..m {
+        let row = a.row(r);
+        for i in 0..n {
+            let ai = row[i];
+            if ai == 0.0 {
+                continue;
+            }
+            let grow = &mut g.as_mut_slice()[i * n..(i + 1) * n];
+            for j in i..n {
+                grow[j] += ai * row[j];
+            }
+        }
+    }
+    for i in 0..n {
+        for j in 0..i {
+            let v = g.get(j, i);
+            g.set(i, j, v);
+        }
+    }
+    g
+}
+
+/// Symmetric outer Gram product `A Aᵀ`.
+pub fn gram_t(a: &Matrix) -> Matrix {
+    let m = a.rows();
+    let mut g = Matrix::zeros(m, m);
+    for i in 0..m {
+        let ri = a.row(i);
+        for j in i..m {
+            let v = crate::norms::dot(ri, a.row(j));
+            g.set(i, j, v);
+            g.set(j, i, v);
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-1.0..1.0))
+    }
+
+    fn naive(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut c = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut acc = 0.0;
+                for k in 0..a.cols() {
+                    acc += a.get(i, k) * b.get(k, j);
+                }
+                c.set(i, j, acc);
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn matmul_small_exact() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]).unwrap();
+        let c = matmul(&a, &b);
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_matches_naive_random() {
+        for &(m, n, p) in &[
+            (1, 1, 1),
+            (3, 5, 4),
+            (17, 33, 9),
+            (64, 64, 64),
+            (70, 130, 40),
+        ] {
+            let a = random(m, n, 1);
+            let b = random(n, p, 2);
+            let c = matmul(&a, &b);
+            assert!(c.approx_eq(&naive(&a, &b), 1e-10), "{}x{}x{}", m, n, p);
+        }
+    }
+
+    #[test]
+    fn matmul_parallel_matches_serial() {
+        // Big enough to cross the parallel threshold.
+        let a = random(300, 200, 3);
+        let b = random(200, 150, 4);
+        let c = matmul(&a, &b);
+        assert!(c.approx_eq(&naive(&a, &b), 1e-9));
+    }
+
+    #[test]
+    fn t_matmul_matches_transpose() {
+        for &(m, n, p) in &[(4, 3, 5), (40, 30, 20), (300, 60, 80)] {
+            let a = random(m, n, 5);
+            let b = random(m, p, 6);
+            let c = t_matmul(&a, &b);
+            let expected = matmul(&a.transpose(), &b);
+            assert!(c.approx_eq(&expected, 1e-9), "{}x{}x{}", m, n, p);
+        }
+    }
+
+    #[test]
+    fn matmul_t_matches_transpose() {
+        for &(m, n, p) in &[(4, 3, 5), (40, 30, 20), (150, 80, 120)] {
+            let a = random(m, n, 7);
+            let b = random(p, n, 8);
+            let c = matmul_t(&a, &b);
+            let expected = matmul(&a, &b.transpose());
+            assert!(c.approx_eq(&expected, 1e-9), "{}x{}x{}", m, n, p);
+        }
+    }
+
+    #[test]
+    fn gram_is_ata() {
+        let a = random(20, 7, 9);
+        let g = gram(&a);
+        let expected = matmul(&a.transpose(), &a);
+        assert!(g.approx_eq(&expected, 1e-10));
+        // Symmetry.
+        for i in 0..7 {
+            for j in 0..7 {
+                assert_eq!(g.get(i, j), g.get(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn gram_t_is_aat() {
+        let a = random(6, 11, 10);
+        let g = gram_t(&a);
+        let expected = matmul(&a, &a.transpose());
+        assert!(g.approx_eq(&expected, 1e-10));
+    }
+
+    #[test]
+    fn try_matmul_checks_shapes() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(4, 2);
+        assert!(try_matmul(&a, &b).is_err());
+        assert!(try_matmul(&a, &Matrix::zeros(3, 2)).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn matmul_panics_on_mismatch() {
+        let _ = matmul(&Matrix::zeros(2, 3), &Matrix::zeros(4, 2));
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = random(8, 8, 11);
+        assert!(matmul(&a, &Matrix::identity(8)).approx_eq(&a, 1e-12));
+        assert!(matmul(&Matrix::identity(8), &a).approx_eq(&a, 1e-12));
+    }
+}

@@ -1,0 +1,140 @@
+//! Kronecker and Khatri–Rao products.
+
+use crate::error::{LinalgError, Result};
+use crate::matrix::Matrix;
+
+/// Kronecker product `A ⊗ B` of an `m×n` and a `p×q` matrix (`mp × nq`).
+pub fn kron(a: &Matrix, b: &Matrix) -> Matrix {
+    let (m, n) = a.shape();
+    let (p, q) = b.shape();
+    let mut out = Matrix::zeros(m * p, n * q);
+    for i in 0..m {
+        for j in 0..n {
+            let aij = a.get(i, j);
+            if aij == 0.0 {
+                continue;
+            }
+            for r in 0..p {
+                let orow = &mut out.row_mut(i * p + r)[j * q..(j + 1) * q];
+                for (o, &bv) in orow.iter_mut().zip(b.row(r).iter()) {
+                    *o = aij * bv;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Kronecker product of a sequence of matrices, left to right:
+/// `kron_all([A, B, C]) = A ⊗ B ⊗ C`.
+pub fn kron_all(mats: &[&Matrix]) -> Matrix {
+    match mats {
+        [] => Matrix::identity(1),
+        [only] => (*only).clone(),
+        [first, rest @ ..] => {
+            let mut acc = (*first).clone();
+            for m in rest {
+                acc = kron(&acc, m);
+            }
+            acc
+        }
+    }
+}
+
+/// Khatri–Rao (column-wise Kronecker) product of two matrices with equal
+/// column counts: `(A ⊙ B)[:, j] = A[:, j] ⊗ B[:, j]`.
+pub fn khatri_rao(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    if a.cols() != b.cols() {
+        return Err(LinalgError::DimensionMismatch {
+            op: "khatri_rao",
+            details: format!("{:?} vs {:?}", a.shape(), b.shape()),
+        });
+    }
+    let (m, k) = a.shape();
+    let p = b.rows();
+    let mut out = Matrix::zeros(m * p, k);
+    for i in 0..m {
+        for r in 0..p {
+            let orow = out.row_mut(i * p + r);
+            let arow = a.row(i);
+            let brow = b.row(r);
+            for j in 0..k {
+                orow[j] = arow[j] * brow[j];
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::matmul;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-1.0..1.0))
+    }
+
+    #[test]
+    fn kron_known_small() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let b = Matrix::from_vec(1, 2, vec![0.0, 1.0]).unwrap();
+        let k = kron(&a, &b);
+        assert_eq!(k.shape(), (2, 4));
+        assert_eq!(k.as_slice(), &[0.0, 1.0, 0.0, 2.0, 0.0, 3.0, 0.0, 4.0]);
+    }
+
+    #[test]
+    fn kron_identity() {
+        let a = random(3, 2, 1);
+        let k = kron(&Matrix::identity(2), &a);
+        // Block diagonal with two copies of a.
+        assert_eq!(k.shape(), (6, 4));
+        assert_eq!(k.get(0, 0), a.get(0, 0));
+        assert_eq!(k.get(3, 2), a.get(0, 0));
+        assert_eq!(k.get(0, 2), 0.0);
+    }
+
+    #[test]
+    fn mixed_product_property() {
+        // (A⊗B)(C⊗D) = (AC)⊗(BD) — the identity D-Tucker leans on.
+        let a = random(3, 4, 2);
+        let b = random(2, 5, 3);
+        let c = random(4, 3, 4);
+        let d = random(5, 2, 5);
+        let lhs = matmul(&kron(&a, &b), &kron(&c, &d));
+        let rhs = kron(&matmul(&a, &c), &matmul(&b, &d));
+        assert!(lhs.approx_eq(&rhs, 1e-10));
+    }
+
+    #[test]
+    fn kron_all_order() {
+        let a = random(2, 2, 6);
+        let b = random(3, 2, 7);
+        let c = random(2, 3, 8);
+        let all = kron_all(&[&a, &b, &c]);
+        let manual = kron(&kron(&a, &b), &c);
+        assert!(all.approx_eq(&manual, 1e-12));
+        assert_eq!(kron_all(&[]).shape(), (1, 1));
+        assert!(kron_all(&[&a]).approx_eq(&a, 0.0));
+    }
+
+    #[test]
+    fn khatri_rao_columns_are_krons() {
+        let a = random(3, 4, 9);
+        let b = random(2, 4, 10);
+        let kr = khatri_rao(&a, &b).unwrap();
+        assert_eq!(kr.shape(), (6, 4));
+        for j in 0..4 {
+            for i in 0..3 {
+                for r in 0..2 {
+                    assert!((kr.get(i * 2 + r, j) - a.get(i, j) * b.get(r, j)).abs() < 1e-14);
+                }
+            }
+        }
+        assert!(khatri_rao(&a, &random(2, 3, 11)).is_err());
+    }
+}

@@ -1,0 +1,60 @@
+//! # dtucker-linalg
+//!
+//! From-scratch dense linear algebra for the `dtucker` workspace.
+//!
+//! The offline crate set available to this project contains neither BLAS
+//! bindings nor `ndarray`, so everything a Tucker decomposition needs is
+//! implemented here, in safe Rust, with an eye on the operations D-Tucker is
+//! actually bound by:
+//!
+//! * [`matrix::Matrix`] — dense row-major `f64` matrices;
+//! * [`gemm`] — blocked, multi-threaded matrix products (`AB`, `AᵀB`, `ABᵀ`,
+//!   Gram products);
+//! * [`qr`] — Householder thin QR, orthonormalization, least squares;
+//! * [`svd`] — accurate one-sided-Jacobi SVD plus Gram-matrix routes for
+//!   truncated factors;
+//! * [`eig`] — symmetric eigendecomposition (`tred2` + `tql2`);
+//! * [`rsvd`] — randomized SVD (the D-Tucker approximation-phase kernel);
+//! * [`lu`], [`cholesky`] — linear solves;
+//! * [`kron`] — Kronecker / Khatri–Rao products;
+//! * [`random`] — Gaussian test matrices (Marsaglia polar method);
+//! * [`norms`] — overflow-safe norms and slice helpers.
+//!
+//! ## Example
+//!
+//! ```
+//! use dtucker_linalg::{Matrix, gemm, svd};
+//!
+//! let a = Matrix::from_fn(8, 3, |r, c| (r * 3 + c) as f64);
+//! let d = svd::svd(&a).unwrap();
+//! let rec = d.reconstruct();
+//! assert!(rec.approx_eq(&a, 1e-9));
+//! let gram = gemm::t_matmul(&a, &a);
+//! assert_eq!(gram.shape(), (3, 3));
+//! ```
+
+#![warn(missing_docs)]
+// Numerical kernels index several arrays with one loop counter; iterator
+// rewrites would obscure the textbook algorithms without changing codegen.
+#![allow(clippy::needless_range_loop)]
+
+pub mod cholesky;
+pub mod eig;
+pub mod error;
+pub mod gemm;
+pub mod kron;
+pub mod lu;
+pub mod matrix;
+pub mod norms;
+pub mod ops;
+pub mod qr;
+pub mod qrcp;
+pub mod random;
+pub mod rsvd;
+pub mod sparse;
+pub mod svd;
+pub mod svd_gr;
+
+pub use error::{LinalgError, Result};
+pub use matrix::Matrix;
+pub use svd::Svd;

@@ -1,0 +1,221 @@
+//! LU decomposition with partial pivoting, linear solves, inverse,
+//! determinant.
+
+use crate::error::{LinalgError, Result};
+use crate::matrix::Matrix;
+
+/// LU decomposition `P A = L U` of a square matrix, stored packed.
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Packed `L` (unit lower, below diagonal) and `U` (upper incl. diagonal).
+    lu: Matrix,
+    /// Row permutation: `piv[i]` is the original row now in position `i`.
+    piv: Vec<usize>,
+    /// Sign of the permutation (±1), for determinants.
+    sign: f64,
+}
+
+impl Lu {
+    /// Factors a square matrix. Returns an error when a pivot collapses to
+    /// (numerical) zero, i.e. the matrix is singular.
+    pub fn new(a: &Matrix) -> Result<Lu> {
+        let n = a.rows();
+        if a.cols() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "lu",
+                details: format!("matrix is {:?}, must be square", a.shape()),
+            });
+        }
+        let mut lu = a.clone();
+        let mut piv: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+        let scale = a.max_abs().max(f64::MIN_POSITIVE);
+
+        for k in 0..n {
+            // Partial pivot: largest |entry| in column k at/below row k.
+            let mut p = k;
+            let mut best = lu.get(k, k).abs();
+            for r in (k + 1)..n {
+                let v = lu.get(r, k).abs();
+                if v > best {
+                    best = v;
+                    p = r;
+                }
+            }
+            if best <= scale * f64::EPSILON * n as f64 {
+                return Err(LinalgError::Singular { op: "lu" });
+            }
+            if p != k {
+                for c in 0..n {
+                    let tmp = lu.get(k, c);
+                    lu.set(k, c, lu.get(p, c));
+                    lu.set(p, c, tmp);
+                }
+                piv.swap(k, p);
+                sign = -sign;
+            }
+            let pivot = lu.get(k, k);
+            for r in (k + 1)..n {
+                let m = lu.get(r, k) / pivot;
+                lu.set(r, k, m);
+                if m != 0.0 {
+                    for c in (k + 1)..n {
+                        let cur = lu.get(r, c);
+                        lu.set(r, c, cur - m * lu.get(k, c));
+                    }
+                }
+            }
+        }
+        Ok(Lu { lu, piv, sign })
+    }
+
+    /// Solves `A x = b`.
+    pub fn solve_vec(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.lu.rows();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "lu_solve",
+                details: format!("system size {n}, rhs length {}", b.len()),
+            });
+        }
+        // Apply permutation.
+        let mut x: Vec<f64> = self.piv.iter().map(|&p| b[p]).collect();
+        // Forward substitution (unit lower).
+        for i in 1..n {
+            let mut acc = x[i];
+            for j in 0..i {
+                acc -= self.lu.get(i, j) * x[j];
+            }
+            x[i] = acc;
+        }
+        // Back substitution.
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for j in (i + 1)..n {
+                acc -= self.lu.get(i, j) * x[j];
+            }
+            x[i] = acc / self.lu.get(i, i);
+        }
+        Ok(x)
+    }
+
+    /// Solves `A X = B` column by column.
+    pub fn solve(&self, b: &Matrix) -> Result<Matrix> {
+        let n = self.lu.rows();
+        if b.rows() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "lu_solve",
+                details: format!("system size {n}, rhs has {} rows", b.rows()),
+            });
+        }
+        let mut x = Matrix::zeros(n, b.cols());
+        for c in 0..b.cols() {
+            let col = self.solve_vec(&b.col(c))?;
+            x.set_col(c, &col);
+        }
+        Ok(x)
+    }
+
+    /// Matrix inverse.
+    pub fn inverse(&self) -> Result<Matrix> {
+        self.solve(&Matrix::identity(self.lu.rows()))
+    }
+
+    /// Determinant of the factored matrix.
+    pub fn det(&self) -> f64 {
+        let mut d = self.sign;
+        for i in 0..self.lu.rows() {
+            d *= self.lu.get(i, i);
+        }
+        d
+    }
+}
+
+/// One-shot solve `A x = b`.
+pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    Lu::new(a)?.solve_vec(b)
+}
+
+/// One-shot inverse.
+pub fn inverse(a: &Matrix) -> Result<Matrix> {
+    Lu::new(a)?.inverse()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::matmul;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random(n: usize, seed: u64) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Matrix::from_fn(n, n, |_, _| rng.gen_range(-1.0..1.0))
+    }
+
+    #[test]
+    fn solve_known_system() {
+        let a = Matrix::from_vec(2, 2, vec![2.0, 1.0, 1.0, 3.0]).unwrap();
+        let x = solve(&a, &[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_random_round_trip() {
+        for n in [1, 2, 5, 20, 60] {
+            let a = random(n, n as u64);
+            let x_true: Vec<f64> = (0..n).map(|i| (i as f64) - 1.5).collect();
+            let b = a.matvec(&x_true).unwrap();
+            let x = solve(&a, &b).unwrap();
+            for (got, want) in x.iter().zip(x_true.iter()) {
+                assert!((got - want).abs() < 1e-8, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_round_trip() {
+        let a = random(10, 3);
+        let inv = inverse(&a).unwrap();
+        assert!(matmul(&a, &inv).approx_eq(&Matrix::identity(10), 1e-9));
+        assert!(matmul(&inv, &a).approx_eq(&Matrix::identity(10), 1e-9));
+    }
+
+    #[test]
+    fn singular_detected() {
+        let mut a = random(4, 4);
+        // Make row 3 a copy of row 0.
+        for c in 0..4 {
+            let v = a.get(0, c);
+            a.set(3, c, v);
+        }
+        assert!(matches!(Lu::new(&a), Err(LinalgError::Singular { .. })));
+    }
+
+    #[test]
+    fn det_matches_known() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let lu = Lu::new(&a).unwrap();
+        assert!((lu.det() + 2.0).abs() < 1e-12);
+        // Determinant of identity is 1.
+        assert!((Lu::new(&Matrix::identity(5)).unwrap().det() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_matrix_rhs() {
+        let a = random(6, 7);
+        let x_true = random(6, 8);
+        let b = matmul(&a, &x_true);
+        let x = Lu::new(&a).unwrap().solve(&b).unwrap();
+        assert!(x.approx_eq(&x_true, 1e-8));
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        assert!(Lu::new(&Matrix::zeros(2, 3)).is_err());
+        let lu = Lu::new(&Matrix::identity(3)).unwrap();
+        assert!(lu.solve_vec(&[1.0, 2.0]).is_err());
+        assert!(lu.solve(&Matrix::zeros(2, 2)).is_err());
+    }
+}

@@ -1,0 +1,146 @@
+//! Norms and low-level vector helpers shared across the crate.
+
+/// Frobenius / Euclidean norm of a slice with overflow-safe scaling
+/// (LAPACK `dnrm2`-style).
+pub fn fro_norm(v: &[f64]) -> f64 {
+    let mut scale = 0.0f64;
+    let mut ssq = 1.0f64;
+    for &x in v {
+        if x != 0.0 {
+            let ax = x.abs();
+            if scale < ax {
+                ssq = 1.0 + ssq * (scale / ax).powi(2);
+                scale = ax;
+            } else {
+                ssq += (ax / scale).powi(2);
+            }
+        }
+    }
+    scale * ssq.sqrt()
+}
+
+/// Squared Euclidean norm (plain accumulation; fine for well-scaled data).
+#[inline]
+pub fn norm_sq(v: &[f64]) -> f64 {
+    v.iter().map(|&x| x * x).sum()
+}
+
+/// Dot product of two equal-length slices.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0;
+    for (x, y) in a.iter().zip(b.iter()) {
+        acc += x * y;
+    }
+    acc
+}
+
+/// `y += alpha * x` over slices.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, &xi) in y.iter_mut().zip(x.iter()) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Scales a slice in place.
+#[inline]
+pub fn scale(v: &mut [f64], s: f64) {
+    for x in v {
+        *x *= s;
+    }
+}
+
+/// Estimates the spectral norm `σ₁(A)` with power iteration on `AᵀA`.
+///
+/// Deterministic start (all-ones, re-seeded with an index basis vector if
+/// that lies in the null space); `iters` ≈ 20 gives a few digits, which is
+/// all condition-number telemetry needs.
+pub fn spectral_norm_est(a: &crate::matrix::Matrix, iters: usize) -> f64 {
+    let (m, n) = a.shape();
+    if m == 0 || n == 0 {
+        return 0.0;
+    }
+    let mut v = vec![1.0f64; n];
+    let mut sigma = 0.0f64;
+    for it in 0..iters.max(1) {
+        let av = a.matvec(&v).expect("length checked");
+        let atav = a.t_matvec(&av).expect("length checked");
+        let norm = fro_norm(&atav);
+        if norm == 0.0 {
+            // Restart from a basis vector in case the start was unlucky.
+            v.iter_mut().for_each(|x| *x = 0.0);
+            v[it % n] = 1.0;
+            continue;
+        }
+        sigma = fro_norm(&av);
+        v = atav;
+        let inv = 1.0 / norm;
+        scale(&mut v, inv);
+    }
+    sigma
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fro_norm_matches_naive() {
+        let v = [3.0, 4.0];
+        assert!((fro_norm(&v) - 5.0).abs() < 1e-15);
+        assert_eq!(fro_norm(&[]), 0.0);
+        assert_eq!(fro_norm(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn fro_norm_resists_overflow() {
+        let big = 1e200;
+        let v = [big, big];
+        let n = fro_norm(&v);
+        assert!(n.is_finite());
+        assert!((n - big * std::f64::consts::SQRT_2).abs() / n < 1e-14);
+    }
+
+    #[test]
+    fn fro_norm_resists_underflow() {
+        let tiny = 1e-200;
+        let v = [tiny, tiny];
+        let n = fro_norm(&v);
+        assert!(n > 0.0);
+        assert!((n - tiny * std::f64::consts::SQRT_2).abs() / n < 1e-14);
+    }
+
+    #[test]
+    fn spectral_norm_matches_svd() {
+        use crate::matrix::Matrix;
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = Matrix::from_fn(15, 11, |_, _| rng.gen_range(-1.0..1.0));
+        let est = spectral_norm_est(&a, 60);
+        let exact = crate::svd::svd(&a).unwrap().s[0];
+        assert!((est - exact).abs() < 1e-6 * exact, "{est} vs {exact}");
+        // Degenerate inputs.
+        assert_eq!(spectral_norm_est(&Matrix::zeros(0, 3), 5), 0.0);
+        assert_eq!(spectral_norm_est(&Matrix::zeros(4, 4), 5), 0.0);
+        // Diagonal case.
+        let d = Matrix::from_diag(&[2.0, 7.0, 1.0]);
+        assert!((spectral_norm_est(&d, 60) - 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dot_and_axpy() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [4.0, 5.0, 6.0];
+        assert_eq!(dot(&a, &b), 32.0);
+        let mut y = [1.0, 1.0, 1.0];
+        axpy(2.0, &a, &mut y);
+        assert_eq!(y, [3.0, 5.0, 7.0]);
+        let mut s = [2.0, 4.0];
+        scale(&mut s, 0.5);
+        assert_eq!(s, [1.0, 2.0]);
+        assert_eq!(norm_sq(&[3.0, 4.0]), 25.0);
+    }
+}

@@ -1,0 +1,113 @@
+//! Operator overloads for [`Matrix`](crate::matrix::Matrix).
+//!
+//! References compose (`&a + &b`, `&a * &b`, `-&a`, `&a * 2.0`) so chained
+//! expressions never move operands. Shape mismatches panic with the same
+//! contract as the underlying [`crate::gemm`] kernels (programming error,
+//! like slice indexing).
+
+use crate::gemm::matmul;
+use crate::matrix::Matrix;
+use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
+
+impl Add for &Matrix {
+    type Output = Matrix;
+    fn add(self, rhs: &Matrix) -> Matrix {
+        Matrix::add(self, rhs).expect("matrix addition shape mismatch")
+    }
+}
+
+impl Sub for &Matrix {
+    type Output = Matrix;
+    fn sub(self, rhs: &Matrix) -> Matrix {
+        Matrix::sub(self, rhs).expect("matrix subtraction shape mismatch")
+    }
+}
+
+impl Mul for &Matrix {
+    type Output = Matrix;
+    fn mul(self, rhs: &Matrix) -> Matrix {
+        matmul(self, rhs)
+    }
+}
+
+impl Mul<f64> for &Matrix {
+    type Output = Matrix;
+    fn mul(self, rhs: f64) -> Matrix {
+        let mut out = self.clone();
+        out.scale(rhs);
+        out
+    }
+}
+
+impl Mul<&Matrix> for f64 {
+    type Output = Matrix;
+    fn mul(self, rhs: &Matrix) -> Matrix {
+        rhs * self
+    }
+}
+
+impl Neg for &Matrix {
+    type Output = Matrix;
+    fn neg(self) -> Matrix {
+        self * -1.0
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        &self.as_slice()[r * self.cols() + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        let cols = self.cols();
+        &mut self.as_mut_slice()[r * cols + c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a() -> Matrix {
+        Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap()
+    }
+
+    #[test]
+    fn add_sub_neg() {
+        let m = a();
+        let sum = &m + &m;
+        assert_eq!(sum.as_slice(), &[2.0, 4.0, 6.0, 8.0]);
+        let zero = &m - &m;
+        assert_eq!(zero.fro_norm(), 0.0);
+        let neg = -&m;
+        assert_eq!(neg.get(1, 1), -4.0);
+    }
+
+    #[test]
+    fn mul_matrix_and_scalar() {
+        let m = a();
+        let id = Matrix::identity(2);
+        assert_eq!((&m * &id), m);
+        let scaled = &m * 2.0;
+        assert_eq!(scaled.get(0, 1), 4.0);
+        let scaled2 = 0.5 * &m;
+        assert_eq!(scaled2.get(1, 0), 1.5);
+    }
+
+    #[test]
+    fn indexing() {
+        let mut m = a();
+        assert_eq!(m[(0, 1)], 2.0);
+        m[(0, 1)] = 9.0;
+        assert_eq!(m.get(0, 1), 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn add_panics_on_mismatch() {
+        let _ = &a() + &Matrix::zeros(3, 3);
+    }
+}

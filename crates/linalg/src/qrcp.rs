@@ -1,0 +1,247 @@
+//! Column-pivoted (rank-revealing) QR decomposition.
+//!
+//! `A P = Q R` with `|R₁₁| ≥ |R₂₂| ≥ …`, so the diagonal of `R` exposes the
+//! numerical rank. Used for cheap rank estimation of slices and unfoldings.
+
+use crate::error::{LinalgError, Result};
+use crate::matrix::Matrix;
+use crate::norms;
+
+/// Result of a column-pivoted QR decomposition `A P = Q R`.
+#[derive(Debug, Clone)]
+pub struct QrcpResult {
+    /// `m × t` factor with orthonormal columns, `t = min(m, n)`.
+    pub q: Matrix,
+    /// `t × n` upper-trapezoidal factor with non-increasing `|diag|`.
+    pub r: Matrix,
+    /// Column permutation: output column `j` of `R` corresponds to input
+    /// column `perm[j]` of `A`.
+    pub perm: Vec<usize>,
+}
+
+impl QrcpResult {
+    /// Numerical rank: number of diagonal entries of `R` above
+    /// `tol · |R₀₀|`.
+    pub fn rank(&self, tol: f64) -> usize {
+        let t = self.r.rows();
+        if t == 0 {
+            return 0;
+        }
+        let r00 = self.r.get(0, 0).abs();
+        if r00 == 0.0 {
+            return 0;
+        }
+        (0..t)
+            .take_while(|&i| self.r.get(i, i).abs() > tol * r00)
+            .count()
+    }
+
+    /// Reconstructs `A` (undoing the pivoting).
+    pub fn reconstruct(&self) -> Matrix {
+        let qr = crate::gemm::matmul(&self.q, &self.r);
+        let (m, n) = qr.shape();
+        let mut a = Matrix::zeros(m, n);
+        for (j, &src) in self.perm.iter().enumerate() {
+            for r in 0..m {
+                a.set(r, src, qr.get(r, j));
+            }
+        }
+        a
+    }
+}
+
+/// Computes a column-pivoted Householder QR decomposition.
+pub fn qr_column_pivoted(a: &Matrix) -> Result<QrcpResult> {
+    let (m, n) = a.shape();
+    if a.as_slice().iter().any(|v| !v.is_finite()) {
+        return Err(LinalgError::InvalidArgument {
+            op: "qr_column_pivoted",
+            details: "matrix contains non-finite entries".into(),
+        });
+    }
+    let t = m.min(n);
+    let mut work = a.clone();
+    let mut perm: Vec<usize> = (0..n).collect();
+    // Squared column norms, downdated as the factorization proceeds.
+    let mut col_norms: Vec<f64> = (0..n).map(|c| norms::norm_sq(&work.col(c))).collect();
+    let mut vs: Vec<Vec<f64>> = Vec::with_capacity(t);
+    let mut betas: Vec<f64> = Vec::with_capacity(t);
+
+    for k in 0..t {
+        // Pivot: remaining column with the largest norm. Recompute exactly
+        // (the classical downdate is numerically fragile); columns are
+        // short after a few steps so this stays cheap.
+        let mut p = k;
+        let mut best = -1.0f64;
+        for c in k..n {
+            if col_norms[c] > best {
+                best = col_norms[c];
+                p = c;
+            }
+        }
+        if p != k {
+            for r in 0..m {
+                let tmp = work.get(r, k);
+                work.set(r, k, work.get(r, p));
+                work.set(r, p, tmp);
+            }
+            perm.swap(k, p);
+            col_norms.swap(k, p);
+        }
+
+        // Householder reflector for column k.
+        let mut v: Vec<f64> = (k..m).map(|r| work.get(r, k)).collect();
+        let normx = norms::fro_norm(&v);
+        if normx == 0.0 {
+            vs.push(v);
+            betas.push(0.0);
+            continue;
+        }
+        let alpha = if v[0] >= 0.0 { -normx } else { normx };
+        v[0] -= alpha;
+        let vnorm_sq = norms::norm_sq(&v);
+        let beta = if vnorm_sq == 0.0 { 0.0 } else { 2.0 / vnorm_sq };
+        if beta != 0.0 {
+            for c in k..n {
+                let mut dot = 0.0;
+                for (i, &vi) in v.iter().enumerate() {
+                    dot += vi * work.get(k + i, c);
+                }
+                let s = beta * dot;
+                for (i, &vi) in v.iter().enumerate() {
+                    let cur = work.get(k + i, c);
+                    work.set(k + i, c, cur - s * vi);
+                }
+            }
+        }
+        work.set(k, k, alpha);
+        for r in (k + 1)..m {
+            work.set(r, k, 0.0);
+        }
+        vs.push(v);
+        betas.push(beta);
+        // Refresh remaining column norms (exact recompute below row k).
+        for c in (k + 1)..n {
+            let mut acc = 0.0;
+            for r in (k + 1)..m {
+                let x = work.get(r, c);
+                acc += x * x;
+            }
+            col_norms[c] = acc;
+        }
+    }
+
+    let mut r = Matrix::zeros(t, n);
+    for i in 0..t {
+        for j in i..n {
+            r.set(i, j, work.get(i, j));
+        }
+    }
+    // Form Q by applying reflectors to the leading t columns of I.
+    let mut q = Matrix::zeros(m, t);
+    for i in 0..t {
+        q.set(i, i, 1.0);
+    }
+    for k in (0..t).rev() {
+        let beta = betas[k];
+        if beta == 0.0 {
+            continue;
+        }
+        let v = &vs[k];
+        for c in 0..t {
+            let mut dot = 0.0;
+            for (i, &vi) in v.iter().enumerate() {
+                dot += vi * q.get(k + i, c);
+            }
+            let s = beta * dot;
+            for (i, &vi) in v.iter().enumerate() {
+                let cur = q.get(k + i, c);
+                q.set(k + i, c, cur - s * vi);
+            }
+        }
+    }
+    Ok(QrcpResult { q, r, perm })
+}
+
+/// Convenience: numerical rank of a matrix at relative tolerance `tol`.
+pub fn numerical_rank(a: &Matrix, tol: f64) -> Result<usize> {
+    Ok(qr_column_pivoted(a)?.rank(tol))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::matmul_t;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-1.0..1.0))
+    }
+
+    #[test]
+    fn reconstructs_and_orthonormal() {
+        for &(m, n, seed) in &[(8usize, 8usize, 1u64), (20, 6, 2), (6, 15, 3)] {
+            let a = random(m, n, seed);
+            let f = qr_column_pivoted(&a).unwrap();
+            assert!(f.q.has_orthonormal_cols(1e-10));
+            assert!(f.reconstruct().approx_eq(&a, 1e-9), "{m}x{n}");
+            // Diagonal magnitudes non-increasing.
+            let t = m.min(n);
+            for i in 1..t {
+                assert!(
+                    f.r.get(i, i).abs() <= f.r.get(i - 1, i - 1).abs() + 1e-10,
+                    "diag not sorted at {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reveals_rank() {
+        let u = random(20, 3, 4);
+        let v = random(12, 3, 5);
+        let a = matmul_t(&u, &v); // rank 3
+        let f = qr_column_pivoted(&a).unwrap();
+        assert_eq!(f.rank(1e-8), 3);
+        assert_eq!(numerical_rank(&a, 1e-8).unwrap(), 3);
+        // Full-rank case.
+        assert_eq!(numerical_rank(&random(10, 7, 6), 1e-10).unwrap(), 7);
+        // Zero matrix.
+        assert_eq!(numerical_rank(&Matrix::zeros(5, 4), 1e-10).unwrap(), 0);
+    }
+
+    #[test]
+    fn perm_is_permutation() {
+        let a = random(9, 9, 7);
+        let f = qr_column_pivoted(&a).unwrap();
+        let mut seen = [false; 9];
+        for &p in &f.perm {
+            assert!(!seen[p]);
+            seen[p] = true;
+        }
+    }
+
+    #[test]
+    fn rejects_non_finite() {
+        let mut a = Matrix::zeros(3, 3);
+        a.set(0, 0, f64::INFINITY);
+        assert!(qr_column_pivoted(&a).is_err());
+    }
+
+    #[test]
+    fn rank_matches_svd_rank() {
+        let mut rng = StdRng::seed_from_u64(8);
+        // Mixed-scale spectrum.
+        let spectrum = [10.0, 1.0, 1e-3, 1e-12, 0.0];
+        let u = crate::qr::orthonormalize(&crate::random::gaussian_matrix(12, 5, &mut rng));
+        let v = crate::qr::orthonormalize(&crate::random::gaussian_matrix(9, 5, &mut rng));
+        let us = crate::svd::scale_cols(&u, &spectrum);
+        let a = matmul_t(&us, &v);
+        let qr_rank = numerical_rank(&a, 1e-6).unwrap();
+        let svd_rank = crate::svd::svd(&a).unwrap().rank(1e-6);
+        assert_eq!(qr_rank, svd_rank);
+        assert_eq!(qr_rank, 3);
+    }
+}

@@ -1,0 +1,278 @@
+//! Compressed sparse row (CSR) matrices — the substrate for the
+//! sparse-input extension of D-Tucker (the lineage's stated future work):
+//! the approximation phase only needs `A·Ω` and `Aᵀ·Q` products per slice,
+//! which CSR provides in `O(nnz·k)`.
+
+use crate::error::{LinalgError, Result};
+use crate::matrix::Matrix;
+
+/// A sparse matrix in CSR format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    /// Row pointers, length `rows + 1`.
+    indptr: Vec<usize>,
+    /// Column indices per stored value.
+    indices: Vec<usize>,
+    /// Stored values.
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from `(row, col, value)` triplets (duplicates
+    /// are summed).
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        triplets: &[(usize, usize, f64)],
+    ) -> Result<Self> {
+        if rows == 0 || cols == 0 {
+            return Err(LinalgError::InvalidArgument {
+                op: "CsrMatrix::from_triplets",
+                details: "zero dimension".into(),
+            });
+        }
+        for &(r, c, _) in triplets {
+            if r >= rows || c >= cols {
+                return Err(LinalgError::InvalidArgument {
+                    op: "CsrMatrix::from_triplets",
+                    details: format!("entry ({r},{c}) out of bounds for {rows}x{cols}"),
+                });
+            }
+        }
+        // Counting sort by row, then per-row sort + duplicate merge.
+        let mut counts = vec![0usize; rows + 1];
+        for &(r, _, _) in triplets {
+            counts[r + 1] += 1;
+        }
+        for i in 0..rows {
+            counts[i + 1] += counts[i];
+        }
+        let mut order: Vec<usize> = vec![0; triplets.len()];
+        let mut cursor = counts.clone();
+        for (i, &(r, _, _)) in triplets.iter().enumerate() {
+            order[cursor[r]] = i;
+            cursor[r] += 1;
+        }
+        let mut indptr = Vec::with_capacity(rows + 1);
+        let mut indices = Vec::with_capacity(triplets.len());
+        let mut values = Vec::with_capacity(triplets.len());
+        indptr.push(0);
+        for r in 0..rows {
+            let span = &mut order[counts[r]..counts[r + 1]];
+            span.sort_by_key(|&i| triplets[i].1);
+            let mut last_col = usize::MAX;
+            for &i in span.iter() {
+                let (_, c, v) = triplets[i];
+                if c == last_col {
+                    *values.last_mut().expect("previous value exists") += v;
+                } else {
+                    indices.push(c);
+                    values.push(v);
+                    last_col = c;
+                }
+            }
+            indptr.push(indices.len());
+        }
+        Ok(CsrMatrix {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+        })
+    }
+
+    /// Converts a dense matrix, dropping entries with `|v| <= threshold`.
+    pub fn from_dense(a: &Matrix, threshold: f64) -> Result<Self> {
+        let mut trips = Vec::new();
+        for r in 0..a.rows() {
+            for (c, &v) in a.row(r).iter().enumerate() {
+                if v.abs() > threshold {
+                    trips.push((r, c, v));
+                }
+            }
+        }
+        Self::from_triplets(a.rows(), a.cols(), &trips)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Squared Frobenius norm of the stored values.
+    pub fn fro_norm_sq(&self) -> f64 {
+        self.values.iter().map(|&v| v * v).sum()
+    }
+
+    /// Materializes the dense matrix.
+    pub fn to_dense(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            for i in self.indptr[r]..self.indptr[r + 1] {
+                out.set(r, self.indices[i], self.values[i]);
+            }
+        }
+        out
+    }
+
+    /// Dense product `A · B` (`rows × b.cols()`), `O(nnz · b.cols())`.
+    pub fn matmul_dense(&self, b: &Matrix) -> Result<Matrix> {
+        if b.rows() != self.cols {
+            return Err(LinalgError::DimensionMismatch {
+                op: "CsrMatrix::matmul_dense",
+                details: format!("{}x{} * {:?}", self.rows, self.cols, b.shape()),
+            });
+        }
+        let p = b.cols();
+        let mut out = Matrix::zeros(self.rows, p);
+        for r in 0..self.rows {
+            let orow = out.row_mut(r);
+            for i in self.indptr[r]..self.indptr[r + 1] {
+                let v = self.values[i];
+                let brow = b.row(self.indices[i]);
+                for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                    *o += v * bv;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Dense transposed product `Aᵀ · B` (`cols × b.cols()`),
+    /// `O(nnz · b.cols())`.
+    pub fn t_matmul_dense(&self, b: &Matrix) -> Result<Matrix> {
+        if b.rows() != self.rows {
+            return Err(LinalgError::DimensionMismatch {
+                op: "CsrMatrix::t_matmul_dense",
+                details: format!("{}x{}ᵀ * {:?}", self.rows, self.cols, b.shape()),
+            });
+        }
+        let p = b.cols();
+        let mut out = Matrix::zeros(self.cols, p);
+        let odat = out.as_mut_slice();
+        for r in 0..self.rows {
+            let brow = b.row(r);
+            for i in self.indptr[r]..self.indptr[r + 1] {
+                let v = self.values[i];
+                let c = self.indices[i];
+                let orow = &mut odat[c * p..(c + 1) * p];
+                for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                    *o += v * bv;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Bytes stored (indptr + indices + values).
+    pub fn memory_bytes(&self) -> usize {
+        self.indptr.len() * std::mem::size_of::<usize>()
+            + self.indices.len() * std::mem::size_of::<usize>()
+            + self.values.len() * std::mem::size_of::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::matmul;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_sparse(rows: usize, cols: usize, density: f64, seed: u64) -> (CsrMatrix, Matrix) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dense = Matrix::from_fn(rows, cols, |_, _| {
+            if rng.gen_range(0.0..1.0) < density {
+                rng.gen_range(-1.0f64..1.0)
+            } else {
+                0.0
+            }
+        });
+        (CsrMatrix::from_dense(&dense, 0.0).unwrap(), dense)
+    }
+
+    #[test]
+    fn triplets_round_trip_with_duplicates() {
+        let trips = vec![
+            (0usize, 1usize, 2.0f64),
+            (1, 0, -1.0),
+            (0, 1, 3.0),
+            (2, 2, 4.0),
+        ];
+        let m = CsrMatrix::from_triplets(3, 3, &trips).unwrap();
+        assert_eq!(m.nnz(), 3); // duplicate (0,1) merged
+        let d = m.to_dense();
+        assert_eq!(d.get(0, 1), 5.0);
+        assert_eq!(d.get(1, 0), -1.0);
+        assert_eq!(d.get(2, 2), 4.0);
+        assert_eq!(d.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn from_triplets_validates() {
+        assert!(CsrMatrix::from_triplets(0, 3, &[]).is_err());
+        assert!(CsrMatrix::from_triplets(2, 2, &[(2, 0, 1.0)]).is_err());
+        assert!(CsrMatrix::from_triplets(2, 2, &[(0, 5, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn dense_round_trip() {
+        let (s, d) = random_sparse(8, 11, 0.3, 1);
+        assert!(s.to_dense().approx_eq(&d, 0.0));
+        assert!((s.fro_norm_sq() - d.fro_norm() * d.fro_norm()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn matmul_matches_dense() {
+        let (s, d) = random_sparse(10, 14, 0.25, 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let b = Matrix::from_fn(14, 5, |_, _| rng.gen_range(-1.0..1.0));
+        let fast = s.matmul_dense(&b).unwrap();
+        let slow = matmul(&d, &b);
+        assert!(fast.approx_eq(&slow, 1e-12));
+        assert!(s.matmul_dense(&Matrix::zeros(3, 3)).is_err());
+    }
+
+    #[test]
+    fn t_matmul_matches_dense() {
+        let (s, d) = random_sparse(12, 9, 0.3, 4);
+        let mut rng = StdRng::seed_from_u64(5);
+        let b = Matrix::from_fn(12, 4, |_, _| rng.gen_range(-1.0..1.0));
+        let fast = s.t_matmul_dense(&b).unwrap();
+        let slow = matmul(&d.transpose(), &b);
+        assert!(fast.approx_eq(&slow, 1e-12));
+        assert!(s.t_matmul_dense(&Matrix::zeros(3, 3)).is_err());
+    }
+
+    #[test]
+    fn memory_grows_with_nnz() {
+        let (s1, _) = random_sparse(20, 20, 0.1, 6);
+        let (s2, _) = random_sparse(20, 20, 0.5, 6);
+        assert!(s1.memory_bytes() < s2.memory_bytes());
+        assert!(
+            s1.memory_bytes() < 20 * 20 * 8,
+            "sparse beats dense at 10% fill"
+        );
+    }
+
+    #[test]
+    fn empty_matrix_ok() {
+        let m = CsrMatrix::from_triplets(4, 5, &[]).unwrap();
+        assert_eq!(m.nnz(), 0);
+        let b = Matrix::identity(5);
+        assert!(m.matmul_dense(&b).unwrap().fro_norm() == 0.0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use dtucker_linalg::gemm::{gram, matmul, matmul_t, t_matmul};
+use dtucker_linalg::kron::kron;
+use dtucker_linalg::qr::qr_thin;
+use dtucker_linalg::svd::svd;
+use dtucker_linalg::Matrix;
+use proptest::prelude::*;
+
+/// Strategy: a matrix with dims in [1, 12] and entries in [-10, 10].
+fn matrix_strategy() -> impl Strategy<Value = Matrix> {
+    (1usize..=12, 1usize..=12).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-10.0f64..10.0, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data).unwrap())
+    })
+}
+
+/// Strategy: a pair (A, B) with compatible inner dimensions.
+fn matmul_pair() -> impl Strategy<Value = (Matrix, Matrix)> {
+    (1usize..=10, 1usize..=10, 1usize..=10).prop_flat_map(|(m, n, p)| {
+        let a = proptest::collection::vec(-5.0f64..5.0, m * n)
+            .prop_map(move |d| Matrix::from_vec(m, n, d).unwrap());
+        let b = proptest::collection::vec(-5.0f64..5.0, n * p)
+            .prop_map(move |d| Matrix::from_vec(n, p, d).unwrap());
+        (a, b)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn transpose_is_involution(a in matrix_strategy()) {
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn matmul_associates_with_transpose((a, b) in matmul_pair()) {
+        // (AB)ᵀ = Bᵀ Aᵀ
+        let ab_t = matmul(&a, &b).transpose();
+        let bt_at = matmul(&b.transpose(), &a.transpose());
+        prop_assert!(ab_t.approx_eq(&bt_at, 1e-9));
+    }
+
+    #[test]
+    fn gemm_variants_agree((a, b) in matmul_pair()) {
+        let reference = matmul(&a, &b);
+        prop_assert!(t_matmul(&a.transpose(), &b).approx_eq(&reference, 1e-9));
+        prop_assert!(matmul_t(&a, &b.transpose()).approx_eq(&reference, 1e-9));
+    }
+
+    #[test]
+    fn gram_is_symmetric_psd_diag(a in matrix_strategy()) {
+        let g = gram(&a);
+        for i in 0..g.rows() {
+            prop_assert!(g.get(i, i) >= -1e-12);
+            for j in 0..g.cols() {
+                prop_assert!((g.get(i, j) - g.get(j, i)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn qr_reconstructs_and_q_orthonormal(a in matrix_strategy()) {
+        let f = qr_thin(&a);
+        let rec = matmul(&f.q, &f.r);
+        prop_assert!(rec.approx_eq(&a, 1e-8 * (1.0 + a.max_abs())));
+        prop_assert!(f.q.has_orthonormal_cols(1e-8));
+    }
+
+    #[test]
+    fn svd_reconstructs(a in matrix_strategy()) {
+        let d = svd(&a).unwrap();
+        let rec = d.reconstruct();
+        prop_assert!(rec.approx_eq(&a, 1e-7 * (1.0 + a.max_abs())));
+        // Descending non-negative spectrum.
+        for w in d.s.windows(2) {
+            prop_assert!(w[0] + 1e-12 >= w[1]);
+        }
+        prop_assert!(d.s.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn svd_largest_value_bounds_spectral_action(a in matrix_strategy()) {
+        // ‖A x‖ ≤ σ₁ ‖x‖ for the all-ones vector.
+        let d = svd(&a).unwrap();
+        let x = vec![1.0; a.cols()];
+        let ax = a.matvec(&x).unwrap();
+        let lhs = dtucker_linalg::norms::fro_norm(&ax);
+        let rhs = d.s.first().copied().unwrap_or(0.0)
+            * dtucker_linalg::norms::fro_norm(&x);
+        prop_assert!(lhs <= rhs + 1e-7 * (1.0 + rhs));
+    }
+
+    #[test]
+    fn kron_norm_is_product_of_norms(a in matrix_strategy(), b in matrix_strategy()) {
+        let k = kron(&a, &b);
+        let expected = a.fro_norm() * b.fro_norm();
+        prop_assert!((k.fro_norm() - expected).abs() <= 1e-8 * (1.0 + expected));
+    }
+
+    #[test]
+    fn lu_solve_round_trip(n in 1usize..=8, seed in any::<u64>()) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        // Diagonally dominant ⇒ nonsingular.
+        let mut a = Matrix::from_fn(n, n, |_, _| rng.gen_range(-1.0..1.0));
+        for i in 0..n {
+            let v = a.get(i, i);
+            a.set(i, i, v + n as f64);
+        }
+        let x_true: Vec<f64> = (0..n).map(|i| i as f64 - 2.0).collect();
+        let b = a.matvec(&x_true).unwrap();
+        let x = dtucker_linalg::lu::solve(&a, &b).unwrap();
+        for (got, want) in x.iter().zip(x_true.iter()) {
+            prop_assert!((got - want).abs() < 1e-7);
+        }
+    }
+}

@@ -1,0 +1,294 @@
+//! Complex FFT: iterative radix-2 Cooley–Tukey with a Bluestein fallback
+//! for arbitrary lengths.
+//!
+//! TensorSketch needs circular convolutions of sketch-length vectors; the
+//! sketch length is caller-chosen, so both power-of-two and general lengths
+//! are supported.
+
+use std::f64::consts::PI;
+
+/// In-place radix-2 FFT of `(re, im)`. Length must be a power of two.
+fn fft_pow2(re: &mut [f64], im: &mut [f64], inverse: bool) {
+    let n = re.len();
+    debug_assert!(n.is_power_of_two());
+    debug_assert_eq!(im.len(), n);
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            re.swap(i, j);
+            im.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * PI / len as f64;
+        let (wr, wi) = (ang.cos(), ang.sin());
+        let mut i = 0;
+        while i < n {
+            let (mut cr, mut ci) = (1.0f64, 0.0f64);
+            for k in 0..len / 2 {
+                let (ur, ui) = (re[i + k], im[i + k]);
+                let (vr0, vi0) = (re[i + k + len / 2], im[i + k + len / 2]);
+                let vr = vr0 * cr - vi0 * ci;
+                let vi = vr0 * ci + vi0 * cr;
+                re[i + k] = ur + vr;
+                im[i + k] = ui + vi;
+                re[i + k + len / 2] = ur - vr;
+                im[i + k + len / 2] = ui - vi;
+                let ncr = cr * wr - ci * wi;
+                ci = cr * wi + ci * wr;
+                cr = ncr;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+}
+
+/// Forward FFT, any length (Bluestein for non-powers-of-two).
+pub fn fft(re: &mut [f64], im: &mut [f64]) {
+    transform(re, im, false);
+}
+
+/// Inverse FFT (including the `1/n` normalization), any length.
+pub fn ifft(re: &mut [f64], im: &mut [f64]) {
+    transform(re, im, true);
+    let n = re.len().max(1) as f64;
+    for v in re.iter_mut() {
+        *v /= n;
+    }
+    for v in im.iter_mut() {
+        *v /= n;
+    }
+}
+
+fn transform(re: &mut [f64], im: &mut [f64], inverse: bool) {
+    assert_eq!(re.len(), im.len(), "fft: re/im length mismatch");
+    let n = re.len();
+    if n == 0 {
+        return;
+    }
+    if n.is_power_of_two() {
+        fft_pow2(re, im, inverse);
+    } else {
+        bluestein(re, im, inverse);
+    }
+}
+
+/// Bluestein's algorithm: length-n DFT as a circular convolution of length
+/// `m = next_pow2(2n+1)`.
+fn bluestein(re: &mut [f64], im: &mut [f64], inverse: bool) {
+    let n = re.len();
+    let sign = if inverse { 1.0 } else { -1.0 };
+    // Chirp: w_k = exp(sign * i π k² / n).
+    let mut cos_t = vec![0.0f64; n];
+    let mut sin_t = vec![0.0f64; n];
+    for k in 0..n {
+        // k² mod 2n avoids precision loss for large k.
+        let ksq = (k as u128 * k as u128 % (2 * n as u128)) as f64;
+        let ang = sign * PI * ksq / n as f64;
+        cos_t[k] = ang.cos();
+        sin_t[k] = ang.sin();
+    }
+    let m = (2 * n + 1).next_power_of_two();
+    // a = x * chirp.
+    let mut ar = vec![0.0f64; m];
+    let mut ai = vec![0.0f64; m];
+    for k in 0..n {
+        ar[k] = re[k] * cos_t[k] - im[k] * sin_t[k];
+        ai[k] = re[k] * sin_t[k] + im[k] * cos_t[k];
+    }
+    // b = conj chirp, periodically extended.
+    let mut br = vec![0.0f64; m];
+    let mut bi = vec![0.0f64; m];
+    br[0] = cos_t[0];
+    bi[0] = -sin_t[0];
+    for k in 1..n {
+        br[k] = cos_t[k];
+        bi[k] = -sin_t[k];
+        br[m - k] = cos_t[k];
+        bi[m - k] = -sin_t[k];
+    }
+    // Convolve via power-of-two FFTs.
+    fft_pow2(&mut ar, &mut ai, false);
+    fft_pow2(&mut br, &mut bi, false);
+    for k in 0..m {
+        let r = ar[k] * br[k] - ai[k] * bi[k];
+        let i = ar[k] * bi[k] + ai[k] * br[k];
+        ar[k] = r;
+        ai[k] = i;
+    }
+    fft_pow2(&mut ar, &mut ai, true);
+    let inv_m = 1.0 / m as f64;
+    for k in 0..n {
+        let (cr, ci) = (ar[k] * inv_m, ai[k] * inv_m);
+        re[k] = cr * cos_t[k] - ci * sin_t[k];
+        im[k] = cr * sin_t[k] + ci * cos_t[k];
+    }
+}
+
+/// Circular convolution of two real vectors of equal length, via FFT.
+pub fn circular_convolve(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "circular_convolve: length mismatch");
+    let n = a.len();
+    if n == 0 {
+        return vec![];
+    }
+    let mut ar = a.to_vec();
+    let mut ai = vec![0.0; n];
+    let mut br = b.to_vec();
+    let mut bi = vec![0.0; n];
+    fft(&mut ar, &mut ai);
+    fft(&mut br, &mut bi);
+    for k in 0..n {
+        let r = ar[k] * br[k] - ai[k] * bi[k];
+        let i = ar[k] * bi[k] + ai[k] * br[k];
+        ar[k] = r;
+        ai[k] = i;
+    }
+    ifft(&mut ar, &mut ai);
+    ar
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_dft(re: &[f64], im: &[f64]) -> (Vec<f64>, Vec<f64>) {
+        let n = re.len();
+        let mut or_ = vec![0.0; n];
+        let mut oi = vec![0.0; n];
+        for k in 0..n {
+            for t in 0..n {
+                let ang = -2.0 * PI * (k * t) as f64 / n as f64;
+                or_[k] += re[t] * ang.cos() - im[t] * ang.sin();
+                oi[k] += re[t] * ang.sin() + im[t] * ang.cos();
+            }
+        }
+        (or_, oi)
+    }
+
+    fn check_against_naive(n: usize, seed: u64) {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let re: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let im: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let (er, ei) = naive_dft(&re, &im);
+        let mut fr = re.clone();
+        let mut fi = im.clone();
+        fft(&mut fr, &mut fi);
+        for k in 0..n {
+            assert!(
+                (fr[k] - er[k]).abs() < 1e-8,
+                "n={n} k={k}: {} vs {}",
+                fr[k],
+                er[k]
+            );
+            assert!((fi[k] - ei[k]).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn fft_matches_naive_pow2() {
+        for &n in &[1, 2, 4, 8, 16, 64] {
+            check_against_naive(n, n as u64);
+        }
+    }
+
+    #[test]
+    fn fft_matches_naive_general() {
+        for &n in &[3, 5, 6, 7, 12, 15, 100] {
+            check_against_naive(n, n as u64 + 1000);
+        }
+    }
+
+    #[test]
+    fn fft_ifft_round_trip() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        for &n in &[4usize, 7, 32, 45] {
+            let mut rng = StdRng::seed_from_u64(n as u64);
+            let re: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let im: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let mut fr = re.clone();
+            let mut fi = im.clone();
+            fft(&mut fr, &mut fi);
+            ifft(&mut fr, &mut fi);
+            for k in 0..n {
+                assert!((fr[k] - re[k]).abs() < 1e-10, "n={n}");
+                assert!((fi[k] - im[k]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn fft_known_impulse() {
+        // FFT of a delta is all-ones.
+        let mut re = vec![1.0, 0.0, 0.0, 0.0];
+        let mut im = vec![0.0; 4];
+        fft(&mut re, &mut im);
+        for k in 0..4 {
+            assert!((re[k] - 1.0).abs() < 1e-12);
+            assert!(im[k].abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn circular_convolution_matches_naive() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        for &n in &[1usize, 4, 5, 9, 16] {
+            let mut rng = StdRng::seed_from_u64(n as u64 + 7);
+            let a: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let fast = circular_convolve(&a, &b);
+            for k in 0..n {
+                let mut acc = 0.0;
+                for t in 0..n {
+                    acc += a[t] * b[(k + n - t % n) % n];
+                }
+                assert!((fast[k] - acc).abs() < 1e-9, "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_unit_inputs() {
+        let mut re: Vec<f64> = vec![];
+        let mut im: Vec<f64> = vec![];
+        fft(&mut re, &mut im);
+        ifft(&mut re, &mut im);
+        assert!(circular_convolve(&[], &[]).is_empty());
+        let c = circular_convolve(&[3.0], &[2.0]);
+        assert!((c[0] - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parsevals_theorem() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let n = 64usize;
+        let mut rng = StdRng::seed_from_u64(42);
+        let re: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut fr = re.clone();
+        let mut fi = vec![0.0; n];
+        fft(&mut fr, &mut fi);
+        let time_energy: f64 = re.iter().map(|&x| x * x).sum();
+        let freq_energy: f64 = fr
+            .iter()
+            .zip(fi.iter())
+            .map(|(&r, &i)| r * r + i * i)
+            .sum::<f64>()
+            / n as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,19 @@
+//! # dtucker-sketch
+//!
+//! Sketching substrate for the TensorSketch-based Tucker baselines
+//! (Tucker-ts / Tucker-ttmts, Malik & Becker 2018):
+//!
+//! * [`fft`] — complex FFT (radix-2 + Bluestein) and circular convolution;
+//! * [`countsketch::CountSketch`] — the `O(nnz)` sparse random projection;
+//! * [`tensorsketch::TensorSketch`] — CountSketch of a Kronecker product
+//!   without forming the product.
+
+#![warn(missing_docs)]
+#![allow(clippy::needless_range_loop)]
+
+pub mod countsketch;
+pub mod fft;
+pub mod tensorsketch;
+
+pub use countsketch::CountSketch;
+pub use tensorsketch::TensorSketch;

@@ -1,0 +1,100 @@
+//! Property-based tests for the sketching substrate.
+
+use dtucker_sketch::fft::{circular_convolve, fft, ifft};
+use dtucker_sketch::{CountSketch, TensorSketch};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fft_ifft_round_trip_any_length(
+        re in proptest::collection::vec(-100.0f64..100.0, 1..64),
+        im in proptest::collection::vec(-100.0f64..100.0, 1..64),
+    ) {
+        let n = re.len().min(im.len());
+        let (re, im) = (&re[..n], &im[..n]);
+        let mut fr = re.to_vec();
+        let mut fi = im.to_vec();
+        fft(&mut fr, &mut fi);
+        ifft(&mut fr, &mut fi);
+        for k in 0..n {
+            prop_assert!((fr[k] - re[k]).abs() < 1e-8 * (1.0 + re[k].abs()));
+            prop_assert!((fi[k] - im[k]).abs() < 1e-8 * (1.0 + im[k].abs()));
+        }
+    }
+
+    #[test]
+    fn fft_is_linear(
+        a in proptest::collection::vec(-10.0f64..10.0, 8),
+        b in proptest::collection::vec(-10.0f64..10.0, 8),
+        alpha in -3.0f64..3.0,
+    ) {
+        // FFT(αa + b) = α FFT(a) + FFT(b).
+        let mix: Vec<f64> = a.iter().zip(b.iter()).map(|(&x, &y)| alpha * x + y).collect();
+        let run = |v: &[f64]| {
+            let mut re = v.to_vec();
+            let mut im = vec![0.0; v.len()];
+            fft(&mut re, &mut im);
+            (re, im)
+        };
+        let (mr, mi) = run(&mix);
+        let (ar, ai) = run(&a);
+        let (br, bi) = run(&b);
+        for k in 0..8 {
+            prop_assert!((mr[k] - (alpha * ar[k] + br[k])).abs() < 1e-9 * (1.0 + mr[k].abs()));
+            prop_assert!((mi[k] - (alpha * ai[k] + bi[k])).abs() < 1e-9 * (1.0 + mi[k].abs()));
+        }
+    }
+
+    #[test]
+    fn convolution_commutes(
+        a in proptest::collection::vec(-5.0f64..5.0, 1..24),
+        seed in any::<u64>(),
+    ) {
+        let n = a.len();
+        let b: Vec<f64> = (0..n).map(|i| ((i as f64) + (seed % 7) as f64).sin()).collect();
+        let ab = circular_convolve(&a, &b);
+        let ba = circular_convolve(&b, &a);
+        for k in 0..n {
+            prop_assert!((ab[k] - ba[k]).abs() < 1e-8 * (1.0 + ab[k].abs()));
+        }
+    }
+
+    #[test]
+    fn countsketch_is_linear(
+        x in proptest::collection::vec(-10.0f64..10.0, 16),
+        y in proptest::collection::vec(-10.0f64..10.0, 16),
+        seed in any::<u64>(),
+    ) {
+        let cs = CountSketch::new(16, 8, seed);
+        let sum: Vec<f64> = x.iter().zip(y.iter()).map(|(&a, &b)| a + b).collect();
+        let s_sum = cs.apply_vec(&sum);
+        let sx = cs.apply_vec(&x);
+        let sy = cs.apply_vec(&y);
+        for k in 0..8 {
+            prop_assert!((s_sum[k] - sx[k] - sy[k]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn tensorsketch_fft_identity(
+        x in proptest::collection::vec(-5.0f64..5.0, 4),
+        y in proptest::collection::vec(-5.0f64..5.0, 3),
+        seed in any::<u64>(),
+        m in 4usize..16,
+    ) {
+        let ts = TensorSketch::new(&[4, 3], m, seed);
+        let fast = ts.sketch_kron_vec(&[&x, &y]);
+        // Direct definition over the Kronecker product.
+        let mut slow = vec![0.0; m];
+        for j in 0..3 {
+            for i in 0..4 {
+                slow[ts.bucket(&[i, j])] += ts.sign(&[i, j]) * x[i] * y[j];
+            }
+        }
+        for t in 0..m {
+            prop_assert!((fast[t] - slow[t]).abs() < 1e-8 * (1.0 + slow[t].abs()));
+        }
+    }
+}

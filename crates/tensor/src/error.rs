@@ -1,0 +1,97 @@
+//! Error types for the tensor substrate.
+
+use dtucker_linalg::LinalgError;
+use std::fmt;
+
+/// Errors produced by tensor operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// A shape argument is inconsistent (wrong element count, zero dims, …).
+    ShapeMismatch {
+        /// Operation name.
+        op: &'static str,
+        /// Conflicting shape description.
+        details: String,
+    },
+    /// A mode index is out of range for the tensor's order.
+    InvalidMode {
+        /// Mode that was requested.
+        mode: usize,
+        /// Order of the tensor.
+        order: usize,
+    },
+    /// An underlying linear-algebra routine failed.
+    Linalg(LinalgError),
+    /// An I/O operation failed (message carries the `std::io::Error` text).
+    Io(String),
+    /// A serialized tensor file is malformed.
+    Format(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { op, details } => {
+                write!(f, "shape mismatch in {op}: {details}")
+            }
+            TensorError::InvalidMode { mode, order } => {
+                write!(f, "mode {mode} out of range for order-{order} tensor")
+            }
+            TensorError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+            TensorError::Io(msg) => write!(f, "tensor i/o error: {msg}"),
+            TensorError::Format(msg) => write!(f, "tensor file format error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TensorError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for TensorError {
+    fn from(e: LinalgError) -> Self {
+        TensorError::Linalg(e)
+    }
+}
+
+impl From<std::io::Error> for TensorError {
+    fn from(e: std::io::Error) -> Self {
+        TensorError::Io(e.to_string())
+    }
+}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, TensorError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = TensorError::InvalidMode { mode: 5, order: 3 };
+        assert_eq!(e.to_string(), "mode 5 out of range for order-3 tensor");
+        let e = TensorError::ShapeMismatch {
+            op: "fold",
+            details: "x".into(),
+        };
+        assert!(e.to_string().contains("fold"));
+        let e: TensorError = LinalgError::NotPositiveDefinite.into();
+        assert!(e.to_string().contains("linear algebra"));
+        let e: TensorError = std::io::Error::new(std::io::ErrorKind::NotFound, "nope").into();
+        assert!(e.to_string().contains("nope"));
+    }
+
+    #[test]
+    fn source_chain() {
+        use std::error::Error;
+        let e: TensorError = LinalgError::NotPositiveDefinite.into();
+        assert!(e.source().is_some());
+        assert!(TensorError::Format("bad".into()).source().is_none());
+    }
+}

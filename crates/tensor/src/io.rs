@@ -1,0 +1,175 @@
+//! Binary tensor serialization.
+//!
+//! A minimal self-describing little-endian format (`.dten`):
+//!
+//! ```text
+//! magic   4 bytes  "DTEN"
+//! version u32      1
+//! order   u32
+//! dims    order × u64
+//! data    numel × f64   (Fortran element order)
+//! ```
+
+use crate::dense::{num_elements, DenseTensor};
+use crate::error::{Result, TensorError};
+use bytes::{Buf, BufMut};
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"DTEN";
+const VERSION: u32 = 1;
+
+/// Serializes a tensor into a byte vector.
+pub fn to_bytes(t: &DenseTensor) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(16 + t.shape().len() * 8 + t.numel() * 8);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u32_le(t.order() as u32);
+    for &d in t.shape() {
+        buf.put_u64_le(d as u64);
+    }
+    for &v in t.as_slice() {
+        buf.put_f64_le(v);
+    }
+    buf
+}
+
+/// Deserializes a tensor from bytes produced by [`to_bytes`].
+pub fn from_bytes(mut buf: &[u8]) -> Result<DenseTensor> {
+    if buf.remaining() < 12 {
+        return Err(TensorError::Format("truncated header".into()));
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(TensorError::Format(format!("bad magic {magic:?}")));
+    }
+    let version = buf.get_u32_le();
+    if version != VERSION {
+        return Err(TensorError::Format(format!(
+            "unsupported version {version}"
+        )));
+    }
+    let order = buf.get_u32_le() as usize;
+    if order == 0 || order > 16 {
+        return Err(TensorError::Format(format!("implausible order {order}")));
+    }
+    if buf.remaining() < order * 8 {
+        return Err(TensorError::Format("truncated dims".into()));
+    }
+    let mut shape = Vec::with_capacity(order);
+    for _ in 0..order {
+        let d = buf.get_u64_le() as usize;
+        if d == 0 {
+            return Err(TensorError::Format("zero dimension".into()));
+        }
+        shape.push(d);
+    }
+    let n = num_elements(&shape);
+    if buf.remaining() != n * 8 {
+        return Err(TensorError::Format(format!(
+            "payload has {} bytes, expected {}",
+            buf.remaining(),
+            n * 8
+        )));
+    }
+    let mut data = Vec::with_capacity(n);
+    for _ in 0..n {
+        data.push(buf.get_f64_le());
+    }
+    DenseTensor::from_vec(&shape, data)
+}
+
+/// Writes a tensor to a file.
+pub fn save(t: &DenseTensor, path: impl AsRef<Path>) -> Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(&to_bytes(t))?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a tensor from a file.
+pub fn load(path: impl AsRef<Path>) -> Result<DenseTensor> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut buf = Vec::new();
+    r.read_to_end(&mut buf)?;
+    from_bytes(&buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example() -> DenseTensor {
+        DenseTensor::from_fn(&[3, 4, 2], |idx| {
+            idx[0] as f64 + idx[1] as f64 * 0.5 - idx[2] as f64 * 2.25
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let t = example();
+        let bytes = to_bytes(&t);
+        let back = from_bytes(&bytes).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let t = example();
+        let dir = std::env::temp_dir().join("dtucker_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tensor.dten");
+        save(&t, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(back, t);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut bytes = to_bytes(&example());
+        bytes[0] = b'X';
+        assert!(matches!(from_bytes(&bytes), Err(TensorError::Format(_))));
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut bytes = to_bytes(&example());
+        bytes[4] = 99;
+        assert!(from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let bytes = to_bytes(&example());
+        assert!(from_bytes(&bytes[..10]).is_err());
+        assert!(from_bytes(&bytes[..bytes.len() - 8]).is_err());
+        assert!(from_bytes(&[]).is_err());
+    }
+
+    #[test]
+    fn rejects_zero_dim_and_bad_order() {
+        let mut buf = Vec::new();
+        buf.put_slice(b"DTEN");
+        buf.put_u32_le(1);
+        buf.put_u32_le(2);
+        buf.put_u64_le(0);
+        buf.put_u64_le(3);
+        assert!(from_bytes(&buf).is_err());
+
+        let mut buf = Vec::new();
+        buf.put_slice(b"DTEN");
+        buf.put_u32_le(1);
+        buf.put_u32_le(99); // implausible order
+        assert!(from_bytes(&buf).is_err());
+    }
+
+    #[test]
+    fn load_missing_file_is_io_error() {
+        let err = load("/nonexistent/place/t.dten").unwrap_err();
+        assert!(matches!(err, TensorError::Io(_)));
+    }
+}

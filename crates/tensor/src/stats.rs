@@ -1,0 +1,185 @@
+//! Statistical preprocessing along tensor modes — the standard cleanup
+//! steps (per-fiber centering/standardization) applied to panels like the
+//! air-quality and stock tensors before decomposition.
+
+use crate::dense::DenseTensor;
+use crate::error::{Result, TensorError};
+
+/// Per-index means along mode `mode`: entry `i` is the mean over all
+/// elements whose mode-`mode` index equals `i`.
+pub fn mode_means(x: &DenseTensor, mode: usize) -> Result<Vec<f64>> {
+    let order = x.order();
+    if mode >= order {
+        return Err(TensorError::InvalidMode { mode, order });
+    }
+    let dim = x.shape()[mode];
+    let left: usize = x.shape()[..mode].iter().product();
+    let right: usize = x.shape()[mode + 1..].iter().product();
+    let mut sums = vec![0.0f64; dim];
+    let data = x.as_slice();
+    for r in 0..right {
+        for i in 0..dim {
+            let base = r * dim * left + i * left;
+            let mut acc = 0.0;
+            for &v in &data[base..base + left] {
+                acc += v;
+            }
+            sums[i] += acc;
+        }
+    }
+    let count = (left * right) as f64;
+    for s in &mut sums {
+        *s /= count;
+    }
+    Ok(sums)
+}
+
+/// Per-index standard deviations along mode `mode` (population variant).
+pub fn mode_stds(x: &DenseTensor, mode: usize) -> Result<Vec<f64>> {
+    let means = mode_means(x, mode)?;
+    let dim = x.shape()[mode];
+    let left: usize = x.shape()[..mode].iter().product();
+    let right: usize = x.shape()[mode + 1..].iter().product();
+    let mut sq = vec![0.0f64; dim];
+    let data = x.as_slice();
+    for r in 0..right {
+        for i in 0..dim {
+            let base = r * dim * left + i * left;
+            let m = means[i];
+            let mut acc = 0.0;
+            for &v in &data[base..base + left] {
+                acc += (v - m) * (v - m);
+            }
+            sq[i] += acc;
+        }
+    }
+    let count = (left * right) as f64;
+    Ok(sq.into_iter().map(|s| (s / count).sqrt()).collect())
+}
+
+/// Subtracts the per-index mean along `mode` in place; returns the means so
+/// the transform can be undone.
+pub fn center_mode(x: &mut DenseTensor, mode: usize) -> Result<Vec<f64>> {
+    let means = mode_means(x, mode)?;
+    apply_affine(x, mode, &means, None)?;
+    Ok(means)
+}
+
+/// Standardizes along `mode` in place (`(x − μᵢ)/σᵢ`; indices with zero
+/// spread are only centered). Returns `(means, stds)`.
+pub fn standardize_mode(x: &mut DenseTensor, mode: usize) -> Result<(Vec<f64>, Vec<f64>)> {
+    let means = mode_means(x, mode)?;
+    let stds = mode_stds(x, mode)?;
+    apply_affine(x, mode, &means, Some(&stds))?;
+    Ok((means, stds))
+}
+
+fn apply_affine(
+    x: &mut DenseTensor,
+    mode: usize,
+    means: &[f64],
+    stds: Option<&[f64]>,
+) -> Result<()> {
+    let dim = x.shape()[mode];
+    let left: usize = x.shape()[..mode].iter().product();
+    let right: usize = x.shape()[mode + 1..].iter().product();
+    let data = x.as_mut_slice();
+    for r in 0..right {
+        for i in 0..dim {
+            let base = r * dim * left + i * left;
+            let m = means[i];
+            let inv = match stds {
+                Some(s) if s[i] > 0.0 => 1.0 / s[i],
+                _ => 1.0,
+            };
+            for v in &mut data[base..base + left] {
+                *v = (*v - m) * inv;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn sample() -> DenseTensor {
+        DenseTensor::from_fn(&[3, 4, 2], |idx| {
+            (idx[0] * 10) as f64 + idx[1] as f64 + 0.5 * idx[2] as f64
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn mode_means_match_manual() {
+        let x = sample();
+        let means = mode_means(&x, 0).unwrap();
+        // For fixed i0, mean over i1 in 0..4 (mean 1.5) and i2 in 0..2
+        // (mean 0.25): total = 10·i0 + 1.75.
+        for (i, m) in means.iter().enumerate() {
+            assert!((m - (10.0 * i as f64 + 1.75)).abs() < 1e-12, "i={i} m={m}");
+        }
+        assert!(mode_means(&x, 3).is_err());
+    }
+
+    #[test]
+    fn center_zeroes_the_means() {
+        let mut x = sample();
+        let original = x.clone();
+        let means = center_mode(&mut x, 1).unwrap();
+        let after = mode_means(&x, 1).unwrap();
+        for m in after {
+            assert!(m.abs() < 1e-12);
+        }
+        // Undo.
+        for i in 0..4 {
+            for i0 in 0..3 {
+                for i2 in 0..2 {
+                    let v = x.get(&[i0, i, i2]) + means[i];
+                    assert!((v - original.get(&[i0, i, i2])).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn standardize_gives_unit_variance() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut x = DenseTensor::from_fn(&[5, 30, 4], |idx| {
+            (idx[0] as f64 + 1.0) * rng.gen_range(-1.0..1.0) + idx[0] as f64 * 3.0
+        })
+        .unwrap();
+        standardize_mode(&mut x, 0).unwrap();
+        let means = mode_means(&x, 0).unwrap();
+        let stds = mode_stds(&x, 0).unwrap();
+        for i in 0..5 {
+            assert!(means[i].abs() < 1e-10, "mean {i}");
+            assert!((stds[i] - 1.0).abs() < 1e-10, "std {i}");
+        }
+    }
+
+    #[test]
+    fn constant_fiber_is_only_centered() {
+        let mut x =
+            DenseTensor::from_fn(&[2, 3], |idx| if idx[0] == 0 { 5.0 } else { idx[1] as f64 })
+                .unwrap();
+        let (means, stds) = standardize_mode(&mut x, 0).unwrap();
+        assert!((means[0] - 5.0).abs() < 1e-12);
+        assert_eq!(stds[0], 0.0);
+        for j in 0..3 {
+            assert_eq!(x.get(&[0, j]), 0.0);
+        }
+    }
+
+    #[test]
+    fn works_on_last_mode() {
+        let mut x = sample();
+        center_mode(&mut x, 2).unwrap();
+        for m in mode_means(&x, 2).unwrap() {
+            assert!(m.abs() < 1e-12);
+        }
+    }
+}

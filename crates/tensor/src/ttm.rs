@@ -1,0 +1,332 @@
+//! n-mode (tensor-times-matrix) products.
+//!
+//! `ttm(x, a, n)` computes `Y = X ×ₙ A`, i.e. `Y₍ₙ₎ = A X₍ₙ₎`, without
+//! materializing the unfolding: with Fortran layout the tensor factors into
+//! `right` contiguous blocks that are row-major `Iₙ × left` matrices, so the
+//! product is a batch of GEMMs over buffer windows.
+
+use crate::dense::DenseTensor;
+use crate::error::{Result, TensorError};
+use dtucker_linalg::gemm::{matmul_into, t_matmul_into};
+use dtucker_linalg::matrix::Matrix;
+
+/// Computes `X ×ₙ A` where `A ∈ R^{J×Iₙ}` (contracting `A`'s columns with
+/// mode `n`). The result has mode `n` of size `J`.
+pub fn ttm(x: &DenseTensor, a: &Matrix, mode: usize) -> Result<DenseTensor> {
+    let shape = x.shape();
+    let order = shape.len();
+    if mode >= order {
+        return Err(TensorError::InvalidMode { mode, order });
+    }
+    let i_n = shape[mode];
+    if a.cols() != i_n {
+        return Err(TensorError::ShapeMismatch {
+            op: "ttm",
+            details: format!(
+                "matrix {:?} cannot contract mode {mode} of {:?}",
+                a.shape(),
+                shape
+            ),
+        });
+    }
+    let j = a.rows();
+    if j == 0 {
+        return Err(TensorError::ShapeMismatch {
+            op: "ttm",
+            details: "matrix with zero rows".into(),
+        });
+    }
+    let left: usize = shape[..mode].iter().product();
+    let right: usize = shape[mode + 1..].iter().product();
+
+    let mut out_shape = shape.to_vec();
+    out_shape[mode] = j;
+    let mut out = DenseTensor::zeros(&out_shape)?;
+
+    let xin = x.as_slice();
+    let xout = out.as_mut_slice();
+    let in_block = i_n * left;
+    let out_block = j * left;
+    for r in 0..right {
+        // Input block r is a row-major Iₙ × left matrix; output block is
+        // row-major J × left.
+        matmul_into(
+            a.as_slice(),
+            &xin[r * in_block..(r + 1) * in_block],
+            &mut xout[r * out_block..(r + 1) * out_block],
+            j,
+            i_n,
+            left,
+        );
+    }
+    Ok(out)
+}
+
+/// Computes `X ×ₙ Aᵀ` where `A ∈ R^{Iₙ×J}` is a factor matrix (contracting
+/// `A`'s **rows** with mode `n`). This is the HOOI projection step
+/// `X ×ₙ A⁽ⁿ⁾ᵀ` without forming the transpose.
+pub fn ttm_t(x: &DenseTensor, a: &Matrix, mode: usize) -> Result<DenseTensor> {
+    let shape = x.shape();
+    let order = shape.len();
+    if mode >= order {
+        return Err(TensorError::InvalidMode { mode, order });
+    }
+    let i_n = shape[mode];
+    if a.rows() != i_n {
+        return Err(TensorError::ShapeMismatch {
+            op: "ttm_t",
+            details: format!(
+                "matrix {:?} cannot contract mode {mode} of {:?}",
+                a.shape(),
+                shape
+            ),
+        });
+    }
+    let j = a.cols();
+    if j == 0 {
+        return Err(TensorError::ShapeMismatch {
+            op: "ttm_t",
+            details: "matrix with zero cols".into(),
+        });
+    }
+    let left: usize = shape[..mode].iter().product();
+    let right: usize = shape[mode + 1..].iter().product();
+
+    let mut out_shape = shape.to_vec();
+    out_shape[mode] = j;
+    let mut out = DenseTensor::zeros(&out_shape)?;
+
+    let xin = x.as_slice();
+    let xout = out.as_mut_slice();
+    let in_block = i_n * left;
+    let out_block = j * left;
+    for r in 0..right {
+        t_matmul_into(
+            a.as_slice(),
+            &xin[r * in_block..(r + 1) * in_block],
+            &mut xout[r * out_block..(r + 1) * out_block],
+            i_n,
+            j,
+            left,
+        );
+    }
+    Ok(out)
+}
+
+/// Tensor-times-vector: contracts mode `n` with a vector of length `Iₙ`,
+/// dropping that mode. `ttv(x, v, n)[..] = Σ_{iₙ} v[iₙ]·x[.., iₙ, ..]`.
+pub fn ttv(x: &DenseTensor, v: &[f64], mode: usize) -> Result<DenseTensor> {
+    let shape = x.shape();
+    let order = shape.len();
+    if mode >= order {
+        return Err(TensorError::InvalidMode { mode, order });
+    }
+    if order == 1 {
+        return Err(TensorError::ShapeMismatch {
+            op: "ttv",
+            details: "cannot drop the only mode of an order-1 tensor".into(),
+        });
+    }
+    if v.len() != shape[mode] {
+        return Err(TensorError::ShapeMismatch {
+            op: "ttv",
+            details: format!(
+                "vector length {} vs mode {mode} size {}",
+                v.len(),
+                shape[mode]
+            ),
+        });
+    }
+    let row =
+        Matrix::from_vec(1, v.len(), v.to_vec()).expect("row vector construction cannot fail");
+    let contracted = ttm(x, &row, mode)?;
+    // Drop the singleton mode.
+    let mut new_shape: Vec<usize> = contracted.shape().to_vec();
+    new_shape.remove(mode);
+    contracted.reshape(&new_shape)
+}
+
+/// Applies `X ×ₖ A⁽ᵏ⁾ᵀ` for every `(k, A⁽ᵏ⁾)` pair, skipping mode
+/// `skip` (pass `usize::MAX` to apply all). Factors are `Iₖ × Jₖ`.
+///
+/// Modes are processed in order of decreasing size reduction
+/// (`Iₖ − Jₖ`), which minimizes intermediate tensor volume — the standard
+/// multi-TTM ordering trick.
+pub fn multi_ttm_t(x: &DenseTensor, factors: &[Matrix], skip: usize) -> Result<DenseTensor> {
+    if factors.len() != x.order() {
+        return Err(TensorError::ShapeMismatch {
+            op: "multi_ttm_t",
+            details: format!("{} factors for order-{} tensor", factors.len(), x.order()),
+        });
+    }
+    let mut modes: Vec<usize> = (0..x.order()).filter(|&k| k != skip).collect();
+    modes.sort_by_key(|&k| {
+        // Largest reduction first (negative for sort ascending).
+        -((x.shape()[k] as isize) - (factors[k].cols() as isize))
+    });
+    let mut cur = x.clone();
+    for &k in &modes {
+        cur = ttm_t(&cur, &factors[k], k)?;
+    }
+    Ok(cur)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::unfold::unfold;
+    use dtucker_linalg::gemm::matmul;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_tensor(shape: &[usize], seed: u64) -> DenseTensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        DenseTensor::from_fn(shape, |_| rng.gen_range(-1.0..1.0)).unwrap()
+    }
+
+    fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-1.0..1.0))
+    }
+
+    /// Reference implementation through explicit unfolding.
+    fn ttm_reference(x: &DenseTensor, a: &Matrix, mode: usize) -> DenseTensor {
+        let unf = unfold(x, mode).unwrap();
+        let prod = matmul(a, &unf);
+        let mut shape = x.shape().to_vec();
+        shape[mode] = a.rows();
+        crate::unfold::fold(&prod, mode, &shape).unwrap()
+    }
+
+    #[test]
+    fn ttm_matches_unfold_route_all_modes() {
+        let x = random_tensor(&[4, 5, 3, 2], 1);
+        for mode in 0..4 {
+            let a = random_matrix(2, x.shape()[mode], 10 + mode as u64);
+            let fast = ttm(&x, &a, mode).unwrap();
+            let slow = ttm_reference(&x, &a, mode);
+            assert!(
+                fast.sub(&slow).unwrap().fro_norm() < 1e-10,
+                "mode {mode} mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn ttm_t_matches_explicit_transpose() {
+        let x = random_tensor(&[6, 4, 3], 2);
+        for mode in 0..3 {
+            let a = random_matrix(x.shape()[mode], 2, 20 + mode as u64);
+            let fast = ttm_t(&x, &a, mode).unwrap();
+            let slow = ttm(&x, &a.transpose(), mode).unwrap();
+            assert!(fast.sub(&slow).unwrap().fro_norm() < 1e-10, "mode {mode}");
+        }
+    }
+
+    #[test]
+    fn ttm_known_values() {
+        // X of shape 2x2, A = [[1, 1]] (1x2): mode-0 product sums rows.
+        let x = DenseTensor::from_vec(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let a = Matrix::from_vec(1, 2, vec![1.0, 1.0]).unwrap();
+        let y = ttm(&x, &a, 0).unwrap();
+        assert_eq!(y.shape(), &[1, 2]);
+        assert_eq!(y.as_slice(), &[3.0, 7.0]);
+    }
+
+    #[test]
+    fn ttm_mode_commutativity() {
+        // X ×₀ A ×₂ B == X ×₂ B ×₀ A for distinct modes.
+        let x = random_tensor(&[5, 4, 6], 3);
+        let a = random_matrix(2, 5, 30);
+        let b = random_matrix(3, 6, 31);
+        let p1 = ttm(&ttm(&x, &a, 0).unwrap(), &b, 2).unwrap();
+        let p2 = ttm(&ttm(&x, &b, 2).unwrap(), &a, 0).unwrap();
+        assert!(p1.sub(&p2).unwrap().fro_norm() < 1e-10);
+    }
+
+    #[test]
+    fn ttm_same_mode_composes() {
+        // (X ×₀ A) ×₀ B == X ×₀ (BA).
+        let x = random_tensor(&[5, 3], 4);
+        let a = random_matrix(4, 5, 40);
+        let b = random_matrix(2, 4, 41);
+        let p1 = ttm(&ttm(&x, &a, 0).unwrap(), &b, 0).unwrap();
+        let p2 = ttm(&x, &matmul(&b, &a), 0).unwrap();
+        assert!(p1.sub(&p2).unwrap().fro_norm() < 1e-10);
+    }
+
+    #[test]
+    fn multi_ttm_t_matches_sequential() {
+        let x = random_tensor(&[6, 5, 4], 5);
+        let factors = vec![
+            random_matrix(6, 2, 50),
+            random_matrix(5, 3, 51),
+            random_matrix(4, 2, 52),
+        ];
+        let all = multi_ttm_t(&x, &factors, usize::MAX).unwrap();
+        let mut seq = x.clone();
+        for (k, f) in factors.iter().enumerate() {
+            seq = ttm_t(&seq, f, k).unwrap();
+        }
+        assert!(all.sub(&seq).unwrap().fro_norm() < 1e-10);
+        assert_eq!(all.shape(), &[2, 3, 2]);
+
+        let skip1 = multi_ttm_t(&x, &factors, 1).unwrap();
+        assert_eq!(skip1.shape(), &[2, 5, 2]);
+    }
+
+    #[test]
+    fn ttv_contracts_and_drops_mode() {
+        let x = random_tensor(&[4, 3, 5], 9);
+        let v = vec![1.0, -1.0, 0.5];
+        let y = ttv(&x, &v, 1).unwrap();
+        assert_eq!(y.shape(), &[4, 5]);
+        for i in 0..4 {
+            for k in 0..5 {
+                let expected: f64 = (0..3).map(|j| v[j] * x.get(&[i, j, k])).sum();
+                assert!((y.get(&[i, k]) - expected).abs() < 1e-12);
+            }
+        }
+        assert!(ttv(&x, &[1.0, 2.0], 1).is_err());
+        assert!(ttv(&x, &v, 5).is_err());
+    }
+
+    #[test]
+    fn ttv_all_ones_is_mode_sum() {
+        let x = random_tensor(&[3, 4], 10);
+        let y = ttv(&x, &[1.0; 3], 0).unwrap();
+        assert_eq!(y.shape(), &[4]);
+        for j in 0..4 {
+            let expected: f64 = (0..3).map(|i| x.get(&[i, j])).sum();
+            assert!((y.get(&[j]) - expected).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ttm_validates_inputs() {
+        let x = random_tensor(&[3, 3], 6);
+        assert!(ttm(&x, &Matrix::zeros(2, 4), 0).is_err()); // wrong cols
+        assert!(ttm(&x, &Matrix::zeros(2, 3), 5).is_err()); // bad mode
+        assert!(ttm_t(&x, &Matrix::zeros(4, 2), 0).is_err());
+        assert!(ttm_t(&x, &Matrix::zeros(3, 2), 9).is_err());
+        assert!(multi_ttm_t(&x, &[Matrix::zeros(3, 2)], usize::MAX).is_err());
+    }
+
+    #[test]
+    fn ttm_with_identity_is_noop() {
+        let x = random_tensor(&[4, 3, 2], 7);
+        for mode in 0..3 {
+            let id = Matrix::identity(x.shape()[mode]);
+            let y = ttm(&x, &id, mode).unwrap();
+            assert!(y.sub(&x).unwrap().fro_norm() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ttm_orthonormal_projection_shrinks_norm() {
+        let x = random_tensor(&[8, 6, 4], 8);
+        let q = dtucker_linalg::qr::orthonormalize(&random_matrix(8, 3, 80));
+        let y = ttm_t(&x, &q, 0).unwrap();
+        assert!(y.fro_norm() <= x.fro_norm() + 1e-12);
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests for the tensor substrate.
+
+use dtucker_linalg::Matrix;
+use dtucker_tensor::dense::DenseTensor;
+use dtucker_tensor::unfold::{fold, inverse_permutation, permute, unfold};
+use dtucker_tensor::{io, ttm};
+use proptest::prelude::*;
+
+/// Strategy: an order-2..4 tensor with dims in [1, 6].
+fn tensor_strategy() -> impl Strategy<Value = DenseTensor> {
+    proptest::collection::vec(1usize..=6, 2..=4).prop_flat_map(|shape| {
+        let n: usize = shape.iter().product();
+        proptest::collection::vec(-100.0f64..100.0, n)
+            .prop_map(move |data| DenseTensor::from_vec(&shape, data).unwrap())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn unfold_fold_round_trip(x in tensor_strategy(), mode_seed in 0usize..16) {
+        let mode = mode_seed % x.order();
+        let m = unfold(&x, mode).unwrap();
+        prop_assert_eq!(m.shape().0, x.shape()[mode]);
+        let back = fold(&m, mode, x.shape()).unwrap();
+        prop_assert_eq!(back, x);
+    }
+
+    #[test]
+    fn unfold_preserves_norm(x in tensor_strategy(), mode_seed in 0usize..16) {
+        let mode = mode_seed % x.order();
+        let m = unfold(&x, mode).unwrap();
+        prop_assert!((m.fro_norm() - x.fro_norm()).abs() < 1e-9 * (1.0 + x.fro_norm()));
+    }
+
+    #[test]
+    fn io_round_trip(x in tensor_strategy()) {
+        let bytes = io::to_bytes(&x);
+        let back = io::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back, x);
+    }
+
+    #[test]
+    fn io_from_bytes_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Malformed input must produce Err, never a panic.
+        let _ = io::from_bytes(&bytes);
+    }
+
+    #[test]
+    fn io_rejects_any_truncation(x in tensor_strategy(), cut in 1usize..64) {
+        let bytes = io::to_bytes(&x);
+        let cut = cut.min(bytes.len());
+        prop_assert!(io::from_bytes(&bytes[..bytes.len() - cut]).is_err());
+    }
+
+    #[test]
+    fn permute_round_trip(x in tensor_strategy(), rot in 0usize..4) {
+        // A cyclic rotation is always a valid permutation.
+        let n = x.order();
+        let order: Vec<usize> = (0..n).map(|i| (i + rot) % n).collect();
+        let p = permute(&x, &order).unwrap();
+        let back = permute(&p, &inverse_permutation(&order)).unwrap();
+        prop_assert_eq!(back, x);
+    }
+
+    #[test]
+    fn ttm_linearity(x in tensor_strategy(), scale in -3.0f64..3.0) {
+        // (αA) ×ₙ X = α (A ×ₙ X).
+        let mode = 0;
+        let i_n = x.shape()[mode];
+        let a = Matrix::from_fn(2, i_n, |r, c| ((r + c) as f64).sin());
+        let mut a_scaled = a.clone();
+        a_scaled.scale(scale);
+        let y1 = ttm::ttm(&x, &a_scaled, mode).unwrap();
+        let mut y2 = ttm::ttm(&x, &a, mode).unwrap();
+        y2.scale(scale);
+        prop_assert!(y1.sub(&y2).unwrap().fro_norm() < 1e-8 * (1.0 + y2.fro_norm()));
+    }
+
+    #[test]
+    fn ttm_matches_unfolded_product(x in tensor_strategy(), mode_seed in 0usize..16) {
+        let mode = mode_seed % x.order();
+        let i_n = x.shape()[mode];
+        let a = Matrix::from_fn(3, i_n, |r, c| ((r * 7 + c * 3) as f64).cos());
+        let y = ttm::ttm(&x, &a, mode).unwrap();
+        let y_unf = unfold(&y, mode).unwrap();
+        let expected = dtucker_linalg::gemm::matmul(&a, &unfold(&x, mode).unwrap());
+        prop_assert!(y_unf.max_abs_diff(&expected) < 1e-9 * (1.0 + expected.max_abs()));
+    }
+
+    #[test]
+    fn frontal_slices_partition_norm(x in tensor_strategy()) {
+        let total_sq = x.fro_norm_sq();
+        let mut acc = 0.0;
+        for l in 0..x.num_frontal_slices() {
+            let s = x.frontal_slice(l).unwrap();
+            let n = s.fro_norm();
+            acc += n * n;
+        }
+        prop_assert!((acc - total_sq).abs() < 1e-7 * (1.0 + total_sq));
+    }
+}

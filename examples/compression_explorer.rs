@@ -1,0 +1,42 @@
+//! Compression explorer: how the slice rank of the approximation phase
+//! trades storage against downstream accuracy, on a hyperspectral scene.
+//! Demonstrates the `SlicedTensor` API directly (compress once, decompose
+//! many times at different Tucker ranks).
+//!
+//! Run with: `cargo run --release --example compression_explorer`
+
+use dtucker::{DTucker, DTuckerConfig, SlicedTensor};
+use dtucker_data::hsi::{hsi, HsiConfig};
+
+fn main() {
+    let x = hsi(&HsiConfig::new(128, 128, 40), 3).expect("generation");
+    let dense_mb = x.numel() as f64 * 8.0 / 1e6;
+    println!("hyperspectral scene: {:?} ({dense_mb:.1} MB)\n", x.shape());
+
+    println!(
+        "{:>10} {:>12} {:>10} {:>14} {:>14}",
+        "slice_rank", "store_MB", "ratio", "compress_err", "tucker_err(J=6)"
+    );
+    for slice_rank in [4usize, 6, 8, 12, 16, 24] {
+        let mut cfg = DTuckerConfig::uniform(6, 3).with_seed(9);
+        cfg.slice_rank = Some(slice_rank);
+        let sliced = SlicedTensor::compress(&x, &cfg).expect("compression");
+        let comp_err = sliced.compression_error_sq(&x).expect("compression error");
+        let out = DTucker::new(cfg)
+            .decompose_sliced(&sliced)
+            .expect("decomposition");
+        let tuck_err = out.decomposition.relative_error_sq(&x).expect("error");
+        println!(
+            "{:>10} {:>12.2} {:>9.1}x {:>14.6} {:>14.6}",
+            sliced.slice_rank(),
+            sliced.memory_bytes() as f64 / 1e6,
+            sliced.compression_ratio(),
+            comp_err,
+            tuck_err
+        );
+    }
+
+    println!("\nReading the table: once the slice rank comfortably exceeds the Tucker");
+    println!("rank (J=6) the decomposition error stops improving — storing more of each");
+    println!("slice buys nothing, which is why D-Tucker's default is max(J1,J2)+5.");
+}

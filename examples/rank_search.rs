@@ -1,0 +1,41 @@
+//! Automatic rank selection: find the smallest Tucker rank meeting an error
+//! budget, paying the expensive pass over the tensor only once.
+//!
+//! `decompose_to_target_error` compresses the tensor a single time (sized
+//! for the largest candidate rank) and then re-runs only the cheap
+//! initialization/iteration phases per candidate — the payoff of D-Tucker's
+//! decoupled phases.
+//!
+//! Run with: `cargo run --release --example rank_search`
+
+use dtucker::core::decompose_to_target_error;
+use dtucker::DTuckerConfig;
+use dtucker_tensor::random::low_rank_plus_noise;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    // A tensor whose true multilinear rank (6) is unknown to the caller.
+    let mut rng = StdRng::seed_from_u64(13);
+    let x = low_rank_plus_noise(&[100, 90, 70], &[6, 6, 6], 0.02, &mut rng).expect("generation");
+    println!("input {:?}; true rank 6, 2% noise\n", x.shape());
+
+    let base = DTuckerConfig::uniform(1, 3).with_seed(1);
+    for target in [0.7f64, 0.2, 0.05, 0.0008] {
+        let t0 = Instant::now();
+        let (out, rank) = decompose_to_target_error(&x, 16, target, &base).expect("rank search");
+        let err = out.decomposition.relative_error_sq(&x).expect("error");
+        println!(
+            "target {:<7} → rank {:>2}, error {:.5}, {:.3}s",
+            target,
+            rank,
+            err,
+            t0.elapsed().as_secs_f64()
+        );
+    }
+    println!("\nThe search doubles the candidate rank (1, 2, 4, 8, 16) until the error");
+    println!("budget is met: loose budgets stop at tiny ranks, tight ones jump past the");
+    println!("true rank 6 to the next candidate, 8, where the 2%-noise floor (~0.0004)");
+    println!("is reached. All candidates reuse one compression pass.");
+}

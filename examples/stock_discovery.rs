@@ -1,0 +1,125 @@
+//! Discovery on a stock-market panel — the style of analysis the authors
+//! showcase on their Korean-stocks dataset: decompose (stock × feature ×
+//! day), then
+//!
+//! 1. cluster stocks by their latent factor rows (sector recovery), and
+//! 2. scan the temporal factor for market-shock windows.
+//!
+//! Run with: `cargo run --release --example stock_discovery`
+
+use dtucker::{DTucker, DTuckerConfig};
+use dtucker_data::stock::{sector_of, stock, StockConfig};
+use dtucker_linalg::norms;
+
+fn cosine(a: &[f64], b: &[f64]) -> f64 {
+    let na = norms::fro_norm(a);
+    let nb = norms::fro_norm(b);
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        norms::dot(a, b) / (na * nb)
+    }
+}
+
+fn main() {
+    // 120 stocks in 4 sectors, 8 features, 250 trading days, with a crash
+    // window around day 150.
+    let mut cfg = StockConfig::new(120, 8, 250);
+    cfg.shocks = vec![(150, 8, 2.5)];
+    let x = stock(&cfg, 21).expect("generation");
+    println!(
+        "panel {:?}, {} sectors, crash at days 150..158\n",
+        x.shape(),
+        cfg.sectors
+    );
+
+    let out = DTucker::new(DTuckerConfig::new(&[5, 4, 5]).with_seed(2))
+        .decompose(&x)
+        .expect("decomposition");
+    let d = &out.decomposition;
+    println!(
+        "model error {:.4} in {:.3}s\n",
+        d.relative_error_sq(&x).expect("error"),
+        out.timings.total().as_secs_f64()
+    );
+
+    // ---- 1. Sector recovery ------------------------------------------
+    // Same-sector stock pairs should have more similar factor rows than
+    // cross-sector pairs.
+    let a1 = &d.factors[0];
+    let (mut same, mut same_n, mut cross, mut cross_n) = (0.0, 0usize, 0.0, 0usize);
+    for i in 0..cfg.stocks {
+        for j in (i + 1)..cfg.stocks {
+            let c = cosine(a1.row(i), a1.row(j)).abs();
+            if sector_of(i, cfg.sectors) == sector_of(j, cfg.sectors) {
+                same += c;
+                same_n += 1;
+            } else {
+                cross += c;
+                cross_n += 1;
+            }
+        }
+    }
+    let same_avg = same / same_n as f64;
+    let cross_avg = cross / cross_n as f64;
+    println!("sector structure in the stock factor:");
+    println!("  mean |cos| within sectors : {same_avg:.3}");
+    println!("  mean |cos| across sectors : {cross_avg:.3}");
+    assert!(
+        same_avg > cross_avg + 0.05,
+        "factor rows should separate sectors ({same_avg:.3} vs {cross_avg:.3})"
+    );
+    println!("  → latent rows recover the sector grouping\n");
+
+    // Nearest neighbours of stock 0 should be its sector mates.
+    let mut sims: Vec<(usize, f64)> = (1..cfg.stocks)
+        .map(|s| (s, cosine(a1.row(0), a1.row(s)).abs()))
+        .collect();
+    sims.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+    let top5: Vec<usize> = sims.iter().take(5).map(|&(s, _)| s).collect();
+    let mates = top5
+        .iter()
+        .filter(|&&s| sector_of(s, cfg.sectors) == 0)
+        .count();
+    println!("stock 0 (sector 0) nearest neighbours: {top5:?} — {mates}/5 in sector 0\n");
+
+    // ---- 2. Shock detection in the temporal factor --------------------
+    // Day-over-day movement of the temporal factor row spikes when the
+    // market regime jumps in or out of the crash window.
+    let a3 = &d.factors[2];
+    let mut jumps: Vec<(usize, f64)> = (1..cfg.days)
+        .map(|t| {
+            let prev = a3.row(t - 1);
+            let cur = a3.row(t);
+            let diff: f64 = prev
+                .iter()
+                .zip(cur.iter())
+                .map(|(&a, &b)| (a - b) * (a - b))
+                .sum::<f64>()
+                .sqrt();
+            (t, diff)
+        })
+        .collect();
+    jumps.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+    println!("largest day-over-day jumps in the temporal factor:");
+    let mut hits = 0;
+    for &(t, j) in jumps.iter().take(4) {
+        let in_window = (149..=158).contains(&t);
+        if in_window {
+            hits += 1;
+        }
+        println!(
+            "  day {t:>3}: jump {j:.4}{}",
+            if in_window {
+                "  ← crash boundary"
+            } else {
+                ""
+            }
+        );
+    }
+    assert!(
+        hits >= 1,
+        "the crash window must surface among the top jumps"
+    );
+    println!("\n→ the temporal factor isolates the injected market shock.");
+}

@@ -1,0 +1,71 @@
+//! Streaming monitoring: keep a Tucker model of a growing traffic tensor up
+//! to date with `DTuckerStream` (the D-TuckerO-style extension) and watch
+//! the update cost stay flat while the batch-recompute cost grows with
+//! history length.
+//!
+//! Run with: `cargo run --release --example streaming_monitor`
+
+use dtucker::{DTucker, DTuckerConfig, DTuckerStream};
+use dtucker_data::traffic::{traffic, TrafficConfig};
+use std::time::Instant;
+
+fn main() {
+    // 26 weeks of traffic from 150 sensors at 24 bins/day.
+    let cfg = TrafficConfig::new(150, 24, 182);
+    let x = traffic(&cfg, 5).expect("generation");
+    println!(
+        "full history: {:?} ({:.1} MB)",
+        x.shape(),
+        x.numel() as f64 * 8.0 / 1e6
+    );
+
+    let dcfg = DTuckerConfig::uniform(5, 3).with_seed(2);
+
+    // Bootstrap on the first 4 weeks.
+    let head = x.subtensor_last(0, 28).expect("head");
+    let t0 = Instant::now();
+    let mut stream = DTuckerStream::new(&head, dcfg.clone()).expect("stream init");
+    println!("bootstrap on 28 days: {:.3}s\n", t0.elapsed().as_secs_f64());
+
+    println!(
+        "{:>6} {:>12} {:>12} {:>12} {:>10}",
+        "days", "update_s", "batch_s", "stream_err", "speedup"
+    );
+    let mut day = 28;
+    while day < 182 {
+        let next = (day + 14).min(182);
+        let block = x.subtensor_last(day, next).expect("block");
+
+        let t0 = Instant::now();
+        stream.append(&block).expect("append");
+        let update = t0.elapsed().as_secs_f64();
+
+        let seen = x.subtensor_last(0, next).expect("seen");
+        let t0 = Instant::now();
+        let batch = DTucker::new(dcfg.clone()).decompose(&seen).expect("batch");
+        let batch_t = t0.elapsed().as_secs_f64();
+        drop(batch);
+
+        let err = stream
+            .decomposition()
+            .expect("decomposition")
+            .relative_error_sq(&seen)
+            .expect("error");
+        println!(
+            "{:>6} {:>12.3} {:>12.3} {:>12.4} {:>9.1}x",
+            next,
+            update,
+            batch_t,
+            err,
+            batch_t / update.max(1e-9)
+        );
+        day = next;
+    }
+
+    println!(
+        "\nfinal model: {} timesteps, compression {:.1}x, last refresh used {} sweeps",
+        stream.timesteps(),
+        stream.sliced().compression_ratio(),
+        stream.last_trace().iterations()
+    );
+}

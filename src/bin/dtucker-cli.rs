@@ -1,0 +1,171 @@
+//! Command-line front door for the dtucker workspace.
+//!
+//! ```text
+//! dtucker-cli generate  --dataset boats --scale ci --seed 0 --out x.dten
+//! dtucker-cli info      --input x.dten
+//! dtucker-cli decompose --input x.dten --rank 5 [--method dtucker|hooi|hosvd|st-hosvd|mach|rtd]
+//!                       [--seed S] [--save-core core.dten]
+//! ```
+
+use dtucker::{DTucker, DTuckerConfig};
+use dtucker_baselines::{hooi, hosvd, mach, rtd, st_hosvd, HooiConfig, MachConfig, RtdConfig};
+use dtucker_data::{generate, parse_scale, Dataset};
+use dtucker_tensor::io;
+use std::process::ExitCode;
+use std::time::Instant;
+
+fn opt(args: &[String], key: &str) -> Option<String> {
+    let flag = format!("--{key}");
+    args.iter()
+        .position(|a| a == &flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    eprintln!();
+    eprintln!("usage:");
+    eprintln!(
+        "  dtucker-cli generate  --dataset <name> [--scale ci|bench|paper] [--seed S] --out <file>"
+    );
+    eprintln!("  dtucker-cli info      --input <file>");
+    eprintln!("  dtucker-cli decompose --input <file> --rank J [--method NAME] [--seed S] [--save-core <file>]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("generate") => cmd_generate(&args),
+        Some("info") => cmd_info(&args),
+        Some("decompose") => cmd_decompose(&args),
+        _ => fail("missing or unknown subcommand"),
+    }
+}
+
+fn cmd_generate(args: &[String]) -> ExitCode {
+    let Some(name) = opt(args, "dataset") else {
+        return fail("--dataset is required");
+    };
+    let Some(ds) = Dataset::parse(&name) else {
+        return fail("unknown dataset");
+    };
+    let scale = match parse_scale(&opt(args, "scale").unwrap_or_else(|| "ci".into())) {
+        Ok(s) => s,
+        Err(e) => return fail(&e.to_string()),
+    };
+    let seed: u64 = opt(args, "seed").and_then(|v| v.parse().ok()).unwrap_or(0);
+    let Some(out) = opt(args, "out") else {
+        return fail("--out is required");
+    };
+
+    let t0 = Instant::now();
+    let x = match generate(ds, scale, seed) {
+        Ok(x) => x,
+        Err(e) => return fail(&e.to_string()),
+    };
+    if let Err(e) = io::save(&x, &out) {
+        return fail(&e.to_string());
+    }
+    println!(
+        "wrote {out}: {:?}, {:.1} MB, generated in {:.2}s",
+        x.shape(),
+        x.numel() as f64 * 8.0 / 1e6,
+        t0.elapsed().as_secs_f64()
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_info(args: &[String]) -> ExitCode {
+    let Some(input) = opt(args, "input") else {
+        return fail("--input is required");
+    };
+    let x = match io::load(&input) {
+        Ok(x) => x,
+        Err(e) => return fail(&e.to_string()),
+    };
+    println!("{input}:");
+    println!("  shape   {:?} (order {})", x.shape(), x.order());
+    println!(
+        "  numel   {} ({:.1} MB)",
+        x.numel(),
+        x.numel() as f64 * 8.0 / 1e6
+    );
+    println!("  ‖X‖_F   {:.6}", x.fro_norm());
+    println!("  max|x|  {:.6}", x.max_abs());
+    println!("  finite  {}", x.is_finite());
+    ExitCode::SUCCESS
+}
+
+fn cmd_decompose(args: &[String]) -> ExitCode {
+    let Some(input) = opt(args, "input") else {
+        return fail("--input is required");
+    };
+    let Some(rank) = opt(args, "rank").and_then(|v| v.parse::<usize>().ok()) else {
+        return fail("--rank J is required");
+    };
+    let method = opt(args, "method").unwrap_or_else(|| "dtucker".into());
+    let seed: u64 = opt(args, "seed").and_then(|v| v.parse().ok()).unwrap_or(0);
+
+    let x = match io::load(&input) {
+        Ok(x) => x,
+        Err(e) => return fail(&e.to_string()),
+    };
+    let n = x.order();
+    let j = rank.min(*x.shape().iter().min().expect("non-empty shape"));
+    if j < rank {
+        eprintln!("note: rank clamped to {j} (smallest mode)");
+    }
+    let ranks = vec![j; n];
+
+    let t0 = Instant::now();
+    let result = match method.as_str() {
+        "dtucker" => DTucker::new(DTuckerConfig::uniform(j, n).with_seed(seed))
+            .decompose(&x)
+            .map(|o| o.decomposition),
+        "hooi" => {
+            let mut c = HooiConfig::new(&ranks);
+            c.seed = seed;
+            hooi(&x, &c).map(|o| o.decomposition)
+        }
+        "hosvd" => hosvd(&x, &ranks).map(|o| o.decomposition),
+        "st-hosvd" => st_hosvd(&x, &ranks).map(|o| o.decomposition),
+        "mach" => {
+            let mut c = MachConfig::new(&ranks);
+            c.seed = seed;
+            mach(&x, &c).map(|o| o.decomposition)
+        }
+        "rtd" => {
+            let mut c = RtdConfig::new(&ranks);
+            c.seed = seed;
+            rtd(&x, &c).map(|o| o.decomposition)
+        }
+        other => return fail(&format!("unknown method '{other}'")),
+    };
+    let d = match result {
+        Ok(d) => d,
+        Err(e) => return fail(&e.to_string()),
+    };
+    let elapsed = t0.elapsed();
+    let err = match d.relative_error_sq(&x) {
+        Ok(e) => e,
+        Err(e) => return fail(&e.to_string()),
+    };
+    println!("method      {method}");
+    println!("ranks       {:?}", d.ranks());
+    println!("time        {:.3}s", elapsed.as_secs_f64());
+    println!("rel. error  {err:.6}");
+    println!(
+        "model size  {:.2} MB ({:.1}x smaller than input)",
+        d.memory_bytes() as f64 / 1e6,
+        (x.numel() * 8) as f64 / d.memory_bytes() as f64
+    );
+    if let Some(path) = opt(args, "save-core") {
+        if let Err(e) = io::save(&d.core, &path) {
+            return fail(&e.to_string());
+        }
+        println!("core        written to {path}");
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,116 @@
+//! Cross-crate integration: the full pipeline from dataset generation
+//! through decomposition, on every dataset analog.
+
+use dtucker::{DTucker, DTuckerConfig};
+use dtucker_baselines::{hooi, HooiConfig};
+use dtucker_data::{generate, Dataset, Scale};
+
+/// D-Tucker matches Tucker-ALS accuracy (within a small factor) on every
+/// dataset analog at CI scale — the paper's central accuracy claim.
+#[test]
+fn dtucker_matches_als_accuracy_on_all_datasets() {
+    for ds in Dataset::ALL {
+        let x = generate(ds, Scale::Ci, 42).expect("generation");
+        let n = x.order();
+        let j = 4usize.min(*x.shape().iter().min().unwrap());
+
+        let dt = DTucker::new(DTuckerConfig::uniform(j, n).with_seed(1))
+            .decompose(&x)
+            .expect("dtucker");
+        let dt_err = dt.decomposition.relative_error_sq(&x).expect("error");
+
+        let mut hc = HooiConfig::new(&vec![j; n]);
+        hc.seed = 1;
+        let als = hooi(&x, &hc).expect("hooi");
+        let als_err = als.decomposition.relative_error_sq(&x).expect("error");
+
+        assert!(
+            dt_err <= als_err * 1.25 + 5e-3,
+            "{}: D-Tucker {dt_err} vs ALS {als_err}",
+            ds.name()
+        );
+        assert!(dt.decomposition.factors_orthonormal(1e-6), "{}", ds.name());
+    }
+}
+
+/// Factor shapes and core shape always match the requested configuration,
+/// independent of the internal mode reordering.
+#[test]
+fn output_shapes_respect_original_mode_order() {
+    for ds in Dataset::ALL {
+        let x = generate(ds, Scale::Ci, 7).expect("generation");
+        let ranks: Vec<usize> = x
+            .shape()
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| (2 + i).min(d))
+            .collect();
+        let mut cfg = DTuckerConfig::new(&ranks);
+        cfg.seed = 2;
+        let out = DTucker::new(cfg).decompose(&x).expect("dtucker");
+        assert_eq!(out.decomposition.ranks(), ranks.as_slice(), "{}", ds.name());
+        for (n, f) in out.decomposition.factors.iter().enumerate() {
+            assert_eq!(
+                f.shape(),
+                (x.shape()[n], ranks[n]),
+                "{} mode {n}",
+                ds.name()
+            );
+        }
+    }
+}
+
+/// The cheap projection error estimate agrees with the exact reconstruction
+/// error when compression is tight.
+#[test]
+fn error_estimate_tracks_exact_error() {
+    let x = generate(Dataset::Boats, Scale::Ci, 3).expect("generation");
+    let mut cfg = DTuckerConfig::uniform(5, 3);
+    cfg.slice_rank = Some(20); // generous slice rank → near-lossless slices
+    cfg.seed = 3;
+    let out = DTucker::new(cfg).decompose(&x).expect("dtucker");
+    let exact = out.decomposition.relative_error_sq(&x).expect("error");
+    let estimate = out.decomposition.projection_error_sq(x.fro_norm_sq());
+    assert!(
+        (exact - estimate).abs() < 0.1 * exact + 1e-4,
+        "exact {exact} vs estimate {estimate}"
+    );
+}
+
+/// Determinism: identical seeds produce bit-identical factor matrices.
+#[test]
+fn runs_are_deterministic() {
+    let x = generate(Dataset::Traffic, Scale::Ci, 5).expect("generation");
+    let cfg = DTuckerConfig::uniform(4, 3).with_seed(11);
+    let a = DTucker::new(cfg.clone()).decompose(&x).expect("run a");
+    let b = DTucker::new(cfg).decompose(&x).expect("run b");
+    for (fa, fb) in a
+        .decomposition
+        .factors
+        .iter()
+        .zip(b.decomposition.factors.iter())
+    {
+        assert_eq!(fa, fb);
+    }
+    assert_eq!(a.decomposition.core, b.decomposition.core);
+}
+
+/// Thread count must not change results (per-slice derived seeds).
+#[test]
+fn threading_does_not_change_results() {
+    let x = generate(Dataset::Hsi, Scale::Ci, 6).expect("generation");
+    let serial = DTucker::new(DTuckerConfig::uniform(4, 3).with_seed(4))
+        .decompose(&x)
+        .expect("serial");
+    let threaded = DTucker::new(DTuckerConfig::uniform(4, 3).with_seed(4).with_threads(2))
+        .decompose(&x)
+        .expect("threaded");
+    for (fa, fb) in serial
+        .decomposition
+        .factors
+        .iter()
+        .zip(threaded.decomposition.factors.iter())
+    {
+        assert!(fa.approx_eq(fb, 1e-12));
+    }
+}

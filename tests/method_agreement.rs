@@ -1,0 +1,138 @@
+//! Cross-method invariants: on a strongly low-rank tensor every method must
+//! land near the same answer, and the known accuracy orderings must hold.
+
+use dtucker::{DTucker, DTuckerConfig};
+use dtucker_baselines::{
+    hosvd, mach, rtd, st_hosvd, tucker_ts, tucker_ttmts, MachConfig, RtdConfig, TuckerTsConfig,
+};
+use dtucker_tensor::random::low_rank_plus_noise;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn input() -> dtucker::DenseTensor {
+    let mut rng = StdRng::seed_from_u64(100);
+    low_rank_plus_noise(&[30, 26, 18], &[3, 3, 3], 0.05, &mut rng).expect("generation")
+}
+
+/// Optimal relative squared error for this noise level.
+const NOISE: f64 = 0.05;
+
+fn optimal_err() -> f64 {
+    NOISE * NOISE / (1.0 + NOISE * NOISE)
+}
+
+#[test]
+fn exact_methods_reach_near_optimal_error() {
+    let x = input();
+    let opt = optimal_err();
+
+    let dt = DTucker::new(DTuckerConfig::uniform(3, 3).with_seed(1))
+        .decompose(&x)
+        .unwrap();
+    let dt_err = dt.decomposition.relative_error_sq(&x).unwrap();
+    assert!(dt_err < 1.3 * opt + 1e-4, "dtucker {dt_err} vs opt {opt}");
+
+    let h = hosvd(&x, &[3, 3, 3])
+        .unwrap()
+        .decomposition
+        .relative_error_sq(&x)
+        .unwrap();
+    assert!(h < 2.0 * opt + 1e-4, "hosvd {h}");
+
+    let st = st_hosvd(&x, &[3, 3, 3])
+        .unwrap()
+        .decomposition
+        .relative_error_sq(&x)
+        .unwrap();
+    assert!(st < 2.0 * opt + 1e-4, "st-hosvd {st}");
+
+    let mut rc = RtdConfig::new(&[3, 3, 3]);
+    rc.seed = 2;
+    let r = rtd(&x, &rc)
+        .unwrap()
+        .decomposition
+        .relative_error_sq(&x)
+        .unwrap();
+    assert!(r < 2.5 * opt + 1e-3, "rtd {r}");
+}
+
+#[test]
+fn sketched_methods_are_approximate_but_sane() {
+    let x = input();
+    let opt = optimal_err();
+    let mut cfg = TuckerTsConfig::new(&[3, 3, 3]);
+    cfg.seed = 3;
+    let ts = tucker_ts(&x, &cfg)
+        .unwrap()
+        .decomposition
+        .relative_error_sq(&x)
+        .unwrap();
+    let ttmts = tucker_ttmts(&x, &cfg)
+        .unwrap()
+        .decomposition
+        .relative_error_sq(&x)
+        .unwrap();
+    // Sketching costs accuracy but not sanity: within 10× of optimal.
+    assert!(ts < 10.0 * opt + 0.01, "tucker-ts {ts}");
+    assert!(ttmts < 10.0 * opt + 0.01, "tucker-ttmts {ttmts}");
+}
+
+#[test]
+fn mach_accuracy_improves_with_sampling_rate() {
+    let x = input();
+    let mut errs = Vec::new();
+    for rate in [0.2, 0.5, 1.0] {
+        let mut cfg = MachConfig::new(&[3, 3, 3]);
+        cfg.sample_rate = rate;
+        cfg.seed = 4;
+        let e = mach(&x, &cfg)
+            .unwrap()
+            .decomposition
+            .relative_error_sq(&x)
+            .unwrap();
+        errs.push(e);
+    }
+    // Full sampling must beat heavy subsampling (monotone up to noise).
+    assert!(errs[2] <= errs[0] + 1e-6, "errors {errs:?}");
+    assert!(
+        errs[2] < 1.5 * optimal_err() + 1e-3,
+        "full-rate MACH {}",
+        errs[2]
+    );
+}
+
+#[test]
+fn dtucker_beats_competitors_in_preprocessed_size() {
+    let x = input();
+    let cfg = DTuckerConfig::uniform(3, 3).with_seed(5);
+    let sliced = dtucker::SlicedTensor::compress(&x, &cfg).unwrap();
+
+    let mut mc = MachConfig::new(&[3, 3, 3]);
+    mc.seed = 5;
+    let sample = dtucker_baselines::mach::mach_sample(&x, &mc).unwrap();
+
+    let mut tc = TuckerTsConfig::new(&[3, 3, 3]);
+    tc.seed = 5;
+    let sketched = dtucker_baselines::tucker_ts::preprocess(&x, &tc).unwrap();
+
+    let dense = x.numel() * 8;
+    assert!(sliced.memory_bytes() < dense);
+    // At this (small) scale MACH's 10% sample is also small; the invariant
+    // that must always hold is that D-Tucker compresses the raw tensor.
+    assert!(sliced.memory_bytes() < sketched.memory_bytes() * 2);
+    assert!(sample.memory_bytes() > 0);
+}
+
+#[test]
+fn higher_rank_never_hurts_error() {
+    let x = input();
+    let mut prev = f64::INFINITY;
+    for j in [2usize, 3, 5, 8] {
+        let out = DTucker::new(DTuckerConfig::uniform(j, 3).with_seed(6))
+            .decompose(&x)
+            .unwrap();
+        let err = out.decomposition.relative_error_sq(&x).unwrap();
+        assert!(err <= prev + 1e-6, "rank {j}: {err} vs previous {prev}");
+        prev = err;
+    }
+}

@@ -1,0 +1,76 @@
+//! Integration: binary persistence round-trips through decomposition, and
+//! the streaming extension tracks batch quality over many appends.
+
+use dtucker::{DTucker, DTuckerConfig, DTuckerStream};
+use dtucker_data::{generate, Dataset, Scale};
+use dtucker_tensor::io;
+
+#[test]
+fn saved_tensor_decomposes_identically_after_reload() {
+    let x = generate(Dataset::AirQuality, Scale::Ci, 9).expect("generation");
+    let dir = std::env::temp_dir().join("dtucker_integration");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join("aq.dten");
+    io::save(&x, &path).expect("save");
+    let reloaded = io::load(&path).expect("load");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(reloaded, x);
+
+    let cfg = DTuckerConfig::uniform(4, 3).with_seed(1);
+    let a = DTucker::new(cfg.clone()).decompose(&x).expect("run a");
+    let b = DTucker::new(cfg).decompose(&reloaded).expect("run b");
+    assert_eq!(a.decomposition.core, b.decomposition.core);
+}
+
+#[test]
+fn streaming_tracks_batch_on_real_analog() {
+    let x = generate(Dataset::Traffic, Scale::Ci, 10).expect("generation");
+    let t = *x.shape().last().unwrap();
+    let cfg = DTuckerConfig::uniform(4, 3).with_seed(2);
+
+    let mut stream = DTuckerStream::new(&x.subtensor_last(0, t / 2).expect("head"), cfg.clone())
+        .expect("stream init");
+    let step = (t / 2 / 4).max(1);
+    let mut pos = t / 2;
+    while pos < t {
+        let next = (pos + step).min(t);
+        stream
+            .append(&x.subtensor_last(pos, next).expect("block"))
+            .expect("append");
+        pos = next;
+    }
+    assert_eq!(stream.timesteps(), t);
+
+    let stream_err = stream
+        .decomposition()
+        .expect("decomposition")
+        .relative_error_sq(&x)
+        .expect("error");
+    let batch = DTucker::new(cfg).decompose(&x).expect("batch");
+    let batch_err = batch.decomposition.relative_error_sq(&x).expect("error");
+    assert!(
+        stream_err <= batch_err * 1.5 + 5e-3,
+        "stream {stream_err} vs batch {batch_err}"
+    );
+}
+
+#[test]
+fn sliced_tensor_survives_reuse_across_ranks() {
+    let x = generate(Dataset::Boats, Scale::Ci, 11).expect("generation");
+    let mut cfg = DTuckerConfig::uniform(6, 3).with_seed(3);
+    cfg.slice_rank = Some(14);
+    let sliced = dtucker::SlicedTensor::compress(&x, &cfg).expect("compress");
+
+    // One compression serves several ranks; error must be monotone in rank.
+    let mut prev = f64::INFINITY;
+    for j in [2usize, 4, 6] {
+        let mut c = DTuckerConfig::uniform(j, 3).with_seed(3);
+        c.slice_rank = Some(14);
+        let out = DTucker::new(c)
+            .decompose_sliced(&sliced)
+            .expect("decompose");
+        let err = out.decomposition.relative_error_sq(&x).expect("error");
+        assert!(err <= prev + 1e-6, "rank {j}: {err} vs {prev}");
+        prev = err;
+    }
+}
