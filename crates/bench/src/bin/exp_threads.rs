@@ -1,17 +1,29 @@
-//! Experiment E9 (extension) — thread scaling of the approximation phase.
+//! Experiment E9 — thread scaling of the **whole** D-Tucker pipeline.
 //!
-//! D-Tucker's slice compressions are embarrassingly parallel; this sweep
-//! measures the approximation-phase wall clock vs worker count and checks
-//! that the results are bit-identical at every thread count (per-slice
-//! derived seeds).
+//! All three phases fan their per-slice work out over the shared worker
+//! pool (`dtucker_linalg::pool`), so this sweep times approximation,
+//! initialization, and iteration separately at each thread count, checks
+//! that the final decomposition is bit-identical to the serial run, and
+//! writes the raw numbers to `BENCH_threads.json` at the repo root.
 //!
 //! Usage: `cargo run -p dtucker-bench --release --bin exp_threads --
 //!         [--scale ci|bench|paper] [--rank J] [--seed S] [--dataset NAME]
-//!         [--max-threads T]`
+//!         [--max-threads T] [--json PATH]`
 
 use dtucker_bench::{secs, time, Args, Table};
+use dtucker_core::init::initialize_threaded;
+use dtucker_core::iterate::iterate;
 use dtucker_core::{DTuckerConfig, SlicedTensor};
 use dtucker_data::{generate, parse_scale, Dataset, Scale};
+use std::time::Duration;
+
+struct Measurement {
+    threads: usize,
+    approx: Duration,
+    init: Duration,
+    iter: Duration,
+    identical: bool,
+}
 
 fn main() {
     let args = Args::capture();
@@ -21,10 +33,9 @@ fn main() {
         .unwrap_or(Scale::Ci);
     let rank: usize = args.get_or("rank", 5);
     let seed: u64 = args.get_or("seed", 0);
-    let max_threads: usize = args.get_or(
-        "max-threads",
-        std::thread::available_parallelism().map_or(4, |n| n.get()),
-    );
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let max_threads: usize = args.get_or("max-threads", cores.max(4));
+    let json_path = args.get("json").unwrap_or("BENCH_threads.json").to_string();
     let ds = args
         .get("dataset")
         .map(|n| Dataset::parse(n).expect("unknown --dataset"))
@@ -33,51 +44,134 @@ fn main() {
     let x = generate(ds, scale, seed).expect("dataset generation failed");
     let rank = rank.min(*x.shape().iter().min().expect("non-empty shape"));
     println!(
-        "## E9: approximation-phase thread scaling on '{}' ({:?})",
+        "## E9: full-pipeline thread scaling on '{}' ({:?}, {} hardware threads)",
         ds.name(),
-        x.shape()
+        x.shape(),
+        cores
     );
     println!("(rank {rank}, seed {seed}; per-slice seeds make results thread-count independent)\n");
 
-    let mut table = Table::new(&["threads", "approx_s", "speedup", "identical_to_serial"])
-        .with_csv("e9_threads");
+    let mut table = Table::new(&[
+        "threads",
+        "approx_s",
+        "init_s",
+        "iter_s",
+        "total_s",
+        "speedup",
+        "identical",
+    ])
+    .with_csv("e9_threads");
 
-    let mut serial_time = None;
-    let mut serial_sig: Option<Vec<f64>> = None;
+    // Untimed warm-up: fault in the dataset pages and JIT the CPU up to
+    // speed so the serial baseline isn't inflated by first-touch costs.
+    {
+        let cfg = DTuckerConfig::uniform(rank, x.order()).with_seed(seed);
+        let _ = SlicedTensor::compress(&x, &cfg).expect("warm-up compression");
+    }
+
+    let mut runs: Vec<Measurement> = Vec::new();
+    let mut serial_bits: Option<Vec<u64>> = None;
     let mut t = 1usize;
     while t <= max_threads.max(1) {
         let cfg = DTuckerConfig::uniform(rank, x.order())
             .with_seed(seed)
             .with_threads(t);
-        let (st, elapsed) = time(|| SlicedTensor::compress(&x, &cfg).expect("compression"));
-        let sig: Vec<f64> = st
-            .slices()
-            .iter()
-            .flat_map(|s| s.s.iter().copied())
-            .collect();
-        let (speedup, same) = match (&serial_time, &serial_sig) {
-            (Some(st0), Some(s0)) => {
-                let identical =
-                    s0.len() == sig.len() && s0.iter().zip(sig.iter()).all(|(a, b)| a == b);
-                (
-                    format!("{:.2}x", duration_ratio(*st0, elapsed)),
-                    identical.to_string(),
-                )
-            }
-            _ => {
-                serial_time = Some(elapsed);
-                serial_sig = Some(sig.clone());
-                ("1.00x".into(), "true".into())
+        let (st, approx) = time(|| SlicedTensor::compress(&x, &cfg).expect("compression"));
+        let ranks_int: Vec<usize> = st.perm().iter().map(|&p| cfg.ranks[p]).collect();
+        let (init, init_t) =
+            time(|| initialize_threaded(&st, &ranks_int, t).expect("initialization"));
+        let (out, iter_t) = time(|| iterate(&st, &ranks_int, init.factors, &cfg).expect("sweeps"));
+
+        let mut bits: Vec<u64> = out.core.as_slice().iter().map(|v| v.to_bits()).collect();
+        for f in &out.factors {
+            bits.extend(f.as_slice().iter().map(|v| v.to_bits()));
+        }
+        let identical = match &serial_bits {
+            Some(b0) => *b0 == bits,
+            None => {
+                serial_bits = Some(bits);
+                true
             }
         };
-        table.row(&[t.to_string(), secs(elapsed), speedup, same]);
+        runs.push(Measurement {
+            threads: t,
+            approx,
+            init: init_t,
+            iter: iter_t,
+            identical,
+        });
         t *= 2;
     }
+
+    let total0 = total(&runs[0]);
+    for m in &runs {
+        table.row(&[
+            m.threads.to_string(),
+            secs(m.approx),
+            secs(m.init),
+            secs(m.iter),
+            secs(total(m)),
+            format!(
+                "{:.2}x",
+                total0.as_secs_f64() / total(m).as_secs_f64().max(1e-9)
+            ),
+            m.identical.to_string(),
+        ]);
+    }
     table.print();
-    println!("\nExpected shape: near-linear speedup until the core count is exhausted,");
-    println!("with bit-identical slice SVDs at every thread count.");
+
+    write_json(&json_path, ds.name(), x.shape(), rank, seed, cores, &runs);
+    println!("\nWrote {json_path}");
+    println!("Expected shape: near-linear speedup until the core count is exhausted,");
+    println!("with a bit-identical decomposition at every thread count.");
 }
 
-fn duration_ratio(a: std::time::Duration, b: std::time::Duration) -> f64 {
-    a.as_secs_f64() / b.as_secs_f64().max(1e-9)
+fn total(m: &Measurement) -> Duration {
+    m.approx + m.init + m.iter
+}
+
+/// Hand-rolled JSON (the offline crate set has no serde).
+fn write_json(
+    path: &str,
+    dataset: &str,
+    shape: &[usize],
+    rank: usize,
+    seed: u64,
+    cores: usize,
+    runs: &[Measurement],
+) {
+    let total0 = total(&runs[0]).as_secs_f64();
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"experiment\": \"e9_threads\",\n");
+    s.push_str(&format!("  \"dataset\": \"{dataset}\",\n"));
+    s.push_str(&format!(
+        "  \"shape\": [{}],\n",
+        shape
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    s.push_str(&format!("  \"rank\": {rank},\n"));
+    s.push_str(&format!("  \"seed\": {seed},\n"));
+    s.push_str(&format!("  \"hardware_threads\": {cores},\n"));
+    s.push_str("  \"runs\": [\n");
+    for (i, m) in runs.iter().enumerate() {
+        let tot = total(m).as_secs_f64();
+        s.push_str(&format!(
+            "    {{\"threads\": {}, \"approx_s\": {:.6}, \"init_s\": {:.6}, \"iter_s\": {:.6}, \
+             \"total_s\": {:.6}, \"speedup\": {:.3}, \"identical_to_serial\": {}}}{}\n",
+            m.threads,
+            m.approx.as_secs_f64(),
+            m.init.as_secs_f64(),
+            m.iter.as_secs_f64(),
+            tot,
+            total0 / tot.max(1e-9),
+            m.identical,
+            if i + 1 == runs.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    std::fs::write(path, s).expect("writing BENCH_threads.json");
 }

@@ -34,8 +34,14 @@ pub struct DTuckerConfig {
     /// RNG seed (per-slice seeds are derived, so results are independent of
     /// thread count).
     pub seed: u64,
-    /// Worker threads for the approximation phase (`1` = serial, matching
-    /// the paper's single-thread measurement protocol).
+    /// Worker threads for the per-slice loops of all three phases.
+    ///
+    /// `1` (the default) runs serially, matching the paper's single-thread
+    /// measurement protocol. `0` means "auto": resolve through the shared
+    /// pool policy — the `DTUCKER_THREADS` environment variable if set,
+    /// otherwise the machine's available parallelism. Any other value is
+    /// used as-is (capped at the pool's `MAX_THREADS`). Results are
+    /// bit-identical for every setting.
     pub threads: usize,
 }
 
@@ -68,9 +74,10 @@ impl DTuckerConfig {
         self
     }
 
-    /// Sets the thread count (builder style).
+    /// Sets the thread count (builder style). `0` means "auto" — see
+    /// [`DTuckerConfig::threads`].
     pub fn with_threads(mut self, threads: usize) -> Self {
-        self.threads = threads.max(1);
+        self.threads = threads;
         self
     }
 
@@ -139,9 +146,12 @@ mod tests {
 
     #[test]
     fn builders() {
-        let c = DTuckerConfig::uniform(5, 3).with_seed(42).with_threads(0);
+        let c = DTuckerConfig::uniform(5, 3).with_seed(42).with_threads(4);
         assert_eq!(c.seed, 42);
-        assert_eq!(c.threads, 1);
+        assert_eq!(c.threads, 4);
+        // 0 is preserved: it means "auto" and resolves via the pool policy.
+        let auto = DTuckerConfig::uniform(5, 3).with_threads(0);
+        assert_eq!(auto.threads, 0);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use crate::config::DTuckerConfig;
 use crate::error::Result;
-use crate::init::initialize;
+use crate::init::initialize_threaded;
 use crate::iterate::iterate;
 use crate::slices::SlicedTensor;
 use crate::trace::ConvergenceTrace;
@@ -143,7 +143,9 @@ impl DTucker {
 
         let t1 = Instant::now();
         let init_factors = match strategy {
-            InitStrategy::DTucker => initialize(sliced, &ranks_int)?.factors,
+            InitStrategy::DTucker => {
+                initialize_threaded(sliced, &ranks_int, self.cfg.threads)?.factors
+            }
             InitStrategy::Random => {
                 let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0xD7CE);
                 sliced

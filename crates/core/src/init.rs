@@ -17,6 +17,7 @@ use crate::error::Result;
 use crate::slices::SlicedTensor;
 use dtucker_linalg::gemm::{matmul_t, t_matmul};
 use dtucker_linalg::matrix::Matrix;
+use dtucker_linalg::pool;
 use dtucker_linalg::svd::leading_left_singular_vectors;
 use dtucker_tensor::dense::DenseTensor;
 use dtucker_tensor::ttm::ttm_t;
@@ -32,14 +33,27 @@ pub struct Initialization {
     pub core: DenseTensor,
 }
 
-/// Runs the initialization phase on a compressed tensor.
+/// Runs the initialization phase on a compressed tensor with one worker
+/// (see [`initialize_threaded`]).
 ///
 /// `ranks` are the target ranks in the **internal** (permuted) mode order.
 pub fn initialize(st: &SlicedTensor, ranks: &[usize]) -> Result<Initialization> {
+    initialize_threaded(st, ranks, 1)
+}
+
+/// [`initialize`] with the per-slice work fanned out over `threads` pool
+/// workers (`0` resolves through the pool policy). Slices are processed
+/// independently, so the result is identical for every thread count.
+pub fn initialize_threaded(
+    st: &SlicedTensor,
+    ranks: &[usize],
+    threads: usize,
+) -> Result<Initialization> {
     let shape = st.shape();
     let n_modes = shape.len();
     debug_assert_eq!(ranks.len(), n_modes);
     let (j1, j2) = (ranks[0], ranks[1]);
+    let threads = pool::resolve_threads(threads);
 
     // A1 / A2 from the leading left singular vectors of the concatenations
     // [U₁Σ₁ | … | U_LΣ_L] and [V₁Σ₁ | … | V_LΣ_L]. The Gram side is chosen
@@ -50,9 +64,11 @@ pub fn initialize(st: &SlicedTensor, ranks: &[usize]) -> Result<Initialization> 
     let l = st.num_slices();
     let mut concat_u = Matrix::zeros(shape[0], l * k);
     let mut concat_v = Matrix::zeros(shape[1], l * k);
-    for (i, sl) in st.slices().iter().enumerate() {
-        let us = sl.us();
-        let vs = sl.vs();
+    let scaled = pool::parallel_map(l, threads.min(l), |i| {
+        let sl = &st.slices()[i];
+        (sl.us(), sl.vs())
+    });
+    for (i, (us, vs)) in scaled.iter().enumerate() {
         for r in 0..shape[0] {
             concat_u.row_mut(r)[i * k..i * k + us.cols()].copy_from_slice(us.row(r));
         }
@@ -64,7 +80,7 @@ pub fn initialize(st: &SlicedTensor, ranks: &[usize]) -> Result<Initialization> 
     let a2 = leading_lsv_adaptive(&concat_v, j2)?;
 
     // Projected slices Y_l = (A1ᵀ U_l Σ_l)(A2ᵀ V_l)ᵀ.
-    let y = projected_tensor(st, &a1, &a2)?;
+    let y = projected_tensor_threaded(st, &a1, &a2, threads)?;
 
     // Trailing factors from the small tensor's unfoldings.
     let mut factors = vec![a1, a2];
@@ -99,17 +115,29 @@ fn leading_lsv_adaptive(a: &Matrix, k: usize) -> Result<Matrix> {
 
 /// Builds the projected tensor `Y` of shape `(J₁, J₂, I₃, …, I_N)` whose
 /// frontal slices are `A⁽¹⁾ᵀ X_l A⁽²⁾`, evaluated through the slice SVDs in
-/// `O(L · (I₁+I₂) k J)` time.
+/// `O(L · (I₁+I₂) k J)` time. Single-worker form of
+/// [`projected_tensor_threaded`].
 pub fn projected_tensor(st: &SlicedTensor, a1: &Matrix, a2: &Matrix) -> Result<DenseTensor> {
+    projected_tensor_threaded(st, a1, a2, 1)
+}
+
+/// [`projected_tensor`] with the per-slice products fanned out over
+/// `threads` pool workers. Bit-identical for every thread count.
+pub fn projected_tensor_threaded(
+    st: &SlicedTensor,
+    a1: &Matrix,
+    a2: &Matrix,
+    threads: usize,
+) -> Result<DenseTensor> {
     let shape = st.shape();
     let mut y_shape = vec![a1.cols(), a2.cols()];
     y_shape.extend_from_slice(&shape[2..]);
-    let mut slices = Vec::with_capacity(st.num_slices());
-    for sl in st.slices() {
+    let slices = pool::parallel_map(st.num_slices(), threads.min(st.num_slices()), |l| {
+        let sl = &st.slices()[l];
         let p = t_matmul(a1, &sl.us()); // J1 × k
         let q = t_matmul(a2, &sl.v); // J2 × k
-        slices.push(matmul_t(&p, &q)); // J1 × J2
-    }
+        matmul_t(&p, &q) // J1 × J2
+    });
     Ok(DenseTensor::from_frontal_slices(&y_shape, &slices)?)
 }
 

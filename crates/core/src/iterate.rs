@@ -18,11 +18,12 @@
 
 use crate::config::DTuckerConfig;
 use crate::error::Result;
-use crate::init::projected_tensor;
+use crate::init::projected_tensor_threaded;
 use crate::slices::SlicedTensor;
 use crate::trace::ConvergenceTrace;
 use dtucker_linalg::gemm::{matmul, t_matmul};
 use dtucker_linalg::matrix::Matrix;
+use dtucker_linalg::pool;
 use dtucker_linalg::svd::leading_left_singular_vectors;
 use dtucker_tensor::dense::DenseTensor;
 use dtucker_tensor::ttm::ttm_t;
@@ -50,14 +51,15 @@ pub fn iterate(
     let n_modes = st.shape().len();
     debug_assert_eq!(factors.len(), n_modes);
     let norm_x = st.norm_x_sq().max(f64::MIN_POSITIVE);
+    let threads = pool::resolve_threads(cfg.threads);
     let mut trace = ConvergenceTrace::default();
     let mut core: Option<DenseTensor> = None;
 
     for _sweep in 0..cfg.max_iters {
-        update_mode1(st, &mut factors, ranks[0])?;
-        update_mode2(st, &mut factors, ranks[1])?;
+        update_mode1(st, &mut factors, ranks[0], threads)?;
+        update_mode2(st, &mut factors, ranks[1], threads)?;
         // Small projected tensor shared by all trailing updates + the core.
-        let p = projected_tensor(st, &factors[0], &factors[1])?;
+        let p = projected_tensor_threaded(st, &factors[0], &factors[1], threads)?;
         for mode in 2..n_modes {
             update_trailing_mode(&p, &mut factors, mode, ranks[mode])?;
         }
@@ -82,17 +84,24 @@ pub fn iterate(
 
 /// Mode-1 update: `A⁽¹⁾ ← J₁` leading left singular vectors of the mode-1
 /// unfolding of `X ×₂ A⁽²⁾ᵀ ⋯ ×_N A⁽ᴺ⁾ᵀ`, evaluated through the slices.
-fn update_mode1(st: &SlicedTensor, factors: &mut [Matrix], j1: usize) -> Result<()> {
+/// The per-slice products fan out across the shared pool; each slice is
+/// computed independently, so results match the serial order exactly.
+fn update_mode1(
+    st: &SlicedTensor,
+    factors: &mut [Matrix],
+    j1: usize,
+    threads: usize,
+) -> Result<()> {
     let shape = st.shape();
     let a2 = &factors[1];
     let mut w_shape = vec![shape[0], a2.cols()];
     w_shape.extend_from_slice(&shape[2..]);
-    let mut slices = Vec::with_capacity(st.num_slices());
-    for sl in st.slices() {
+    let slices = pool::parallel_map(st.num_slices(), threads.min(st.num_slices()), |l| {
         // U_lΣ_l (V_lᵀ A2): (I₁×k)(k×J₂).
+        let sl = &st.slices()[l];
         let vta = t_matmul(&sl.v, a2);
-        slices.push(matmul(&sl.us(), &vta));
-    }
+        matmul(&sl.us(), &vta)
+    });
     let mut w = DenseTensor::from_frontal_slices(&w_shape, &slices)?;
     for mode in 2..shape.len() {
         w = ttm_t(&w, &factors[mode], mode)?;
@@ -102,17 +111,22 @@ fn update_mode1(st: &SlicedTensor, factors: &mut [Matrix], j1: usize) -> Result<
 }
 
 /// Mode-2 update, symmetric to [`update_mode1`].
-fn update_mode2(st: &SlicedTensor, factors: &mut [Matrix], j2: usize) -> Result<()> {
+fn update_mode2(
+    st: &SlicedTensor,
+    factors: &mut [Matrix],
+    j2: usize,
+    threads: usize,
+) -> Result<()> {
     let shape = st.shape();
     let a1 = &factors[0];
     let mut z_shape = vec![a1.cols(), shape[1]];
     z_shape.extend_from_slice(&shape[2..]);
-    let mut slices = Vec::with_capacity(st.num_slices());
-    for sl in st.slices() {
+    let slices = pool::parallel_map(st.num_slices(), threads.min(st.num_slices()), |l| {
         // (A1ᵀ U_lΣ_l) V_lᵀ: (J₁×k)(k×I₂).
+        let sl = &st.slices()[l];
         let atu = t_matmul(a1, &sl.us());
-        slices.push(dtucker_linalg::gemm::matmul_t(&atu, &sl.v));
-    }
+        dtucker_linalg::gemm::matmul_t(&atu, &sl.v)
+    });
     let mut z = DenseTensor::from_frontal_slices(&z_shape, &slices)?;
     for mode in 2..shape.len() {
         z = ttm_t(&z, &factors[mode], mode)?;

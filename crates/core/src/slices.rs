@@ -9,6 +9,7 @@
 use crate::config::{DTuckerConfig, SliceSvdKind};
 use crate::error::{CoreError, Result};
 use dtucker_linalg::matrix::Matrix;
+use dtucker_linalg::pool;
 use dtucker_linalg::rsvd::{rsvd, RsvdConfig};
 use dtucker_linalg::svd::{scale_cols, svd, truncated_svd_gram};
 use dtucker_tensor::dense::DenseTensor;
@@ -332,10 +333,11 @@ impl SlicedTensor {
     }
 }
 
-/// Compresses every frontal slice of `internal`, fanning out across
-/// `cfg.threads` workers. Per-slice RNG seeds are derived from
-/// `cfg.seed` and the **global** slice index (`index_offset + l`), so
-/// results are identical for any thread count.
+/// Compresses every frontal slice of `internal`, fanning out across the
+/// shared worker pool (`cfg.threads` resolved through the pool policy;
+/// `0` means auto). Per-slice RNG seeds are derived from `cfg.seed` and
+/// the **global** slice index (`index_offset + l`), so results are
+/// identical for any thread count.
 fn compress_slices(
     internal: &DenseTensor,
     k: usize,
@@ -343,33 +345,13 @@ fn compress_slices(
     index_offset: usize,
 ) -> Result<Vec<SliceSvd>> {
     let num = internal.num_frontal_slices();
-    let threads = cfg.threads.max(1).min(num);
-
-    let do_slice = |l: usize| -> Result<SliceSvd> {
+    let threads = pool::resolve_threads(cfg.threads).min(num);
+    pool::parallel_map(num, threads, |l| {
         let m = internal.frontal_slice(l)?;
         compress_one(&m, k, cfg, slice_seed(cfg.seed, index_offset + l))
-    };
-
-    if threads <= 1 {
-        return (0..num).map(do_slice).collect();
-    }
-
-    let chunk = num.div_ceil(threads);
-    let mut out: Vec<Option<Result<SliceSvd>>> = (0..num).map(|_| None).collect();
-    crossbeam::thread::scope(|s| {
-        for (t, ochunk) in out.chunks_mut(chunk).enumerate() {
-            let do_slice = &do_slice;
-            s.spawn(move |_| {
-                for (i, o) in ochunk.iter_mut().enumerate() {
-                    *o = Some(do_slice(t * chunk + i));
-                }
-            });
-        }
     })
-    .expect("approximation-phase worker panicked");
-    out.into_iter()
-        .map(|o| o.expect("slice not computed"))
-        .collect()
+    .into_iter()
+    .collect()
 }
 
 /// Derives a per-slice seed (splitmix-style) so compression is reproducible

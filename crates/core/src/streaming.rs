@@ -11,7 +11,7 @@
 
 use crate::config::DTuckerConfig;
 use crate::error::{CoreError, Result};
-use crate::init::initialize;
+use crate::init::initialize_threaded;
 use crate::iterate::iterate;
 use crate::slices::SlicedTensor;
 use crate::trace::ConvergenceTrace;
@@ -43,7 +43,7 @@ impl DTuckerStream {
         cfg.validate(x.shape())?;
         let sliced = SlicedTensor::compress_keep_last(x, &cfg)?;
         let ranks_int = internal_ranks(&cfg, sliced.perm());
-        let init = initialize(&sliced, &ranks_int)?;
+        let init = initialize_threaded(&sliced, &ranks_int, cfg.threads)?;
         let out = iterate(&sliced, &ranks_int, init.factors, &cfg)?;
         Ok(DTuckerStream {
             cfg,

@@ -1,0 +1,76 @@
+//! Bit-identity of the full pipeline across thread counts.
+//!
+//! The contract of the execution layer (`dtucker_linalg::pool` + the packed
+//! GEMM) is that threading only partitions *output ranges* — it never
+//! changes the per-element accumulation order. These tests pin that down
+//! end-to-end: approximation, initialization, and iteration must produce
+//! the exact same bytes no matter how many workers run.
+
+use dtucker_core::{DTucker, DTuckerConfig};
+use dtucker_linalg::pool;
+use dtucker_tensor::dense::DenseTensor;
+use dtucker_tensor::random::low_rank_plus_noise;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn test_tensor(shape: &[usize], ranks: &[usize], seed: u64) -> DenseTensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    low_rank_plus_noise(shape, ranks, 0.05, &mut rng).unwrap()
+}
+
+/// Runs the whole pipeline and flattens every output buffer (core + all
+/// factors) into one `Vec<f64>` for exact comparison.
+fn decompose_bits(x: &DenseTensor, ranks: &[usize], seed: u64, threads: usize) -> Vec<f64> {
+    let cfg = DTuckerConfig::new(ranks)
+        .with_seed(seed)
+        .with_threads(threads);
+    let out = DTucker::new(cfg).decompose(x).unwrap();
+    let mut bits: Vec<f64> = out.decomposition.core.as_slice().to_vec();
+    for f in &out.decomposition.factors {
+        bits.extend_from_slice(f.as_slice());
+    }
+    bits
+}
+
+#[test]
+fn pipeline_bit_identical_across_thread_counts() {
+    let ranks = [3usize, 3, 3];
+    let x = test_tensor(&[30, 24, 12], &ranks, 7);
+    let baseline = decompose_bits(&x, &ranks, 7, 1);
+    for threads in [2usize, 3, 4, 7] {
+        let other = decompose_bits(&x, &ranks, 7, threads);
+        assert_eq!(baseline.len(), other.len());
+        for (i, (a, b)) in baseline.iter().zip(other.iter()).enumerate() {
+            assert!(
+                a.to_bits() == b.to_bits(),
+                "threads={threads}: element {i} differs: {a:e} vs {b:e}"
+            );
+        }
+    }
+}
+
+#[test]
+fn pipeline_bit_identical_with_gemm_threading_forced() {
+    // Force every GEMM above 0 flops through the threaded path so the
+    // row-split code runs even on this small problem.
+    pool::set_par_flop_threshold(Some(0));
+    let ranks = [2usize, 3, 2, 2];
+    let x = test_tensor(&[12, 10, 6, 5], &ranks, 11);
+    let baseline = decompose_bits(&x, &ranks, 11, 1);
+    for threads in [2usize, 5] {
+        let other = decompose_bits(&x, &ranks, 11, threads);
+        assert_eq!(baseline, other, "threads={threads} diverged");
+    }
+    pool::set_par_flop_threshold(None);
+}
+
+#[test]
+fn auto_threads_matches_serial() {
+    // threads = 0 resolves through the pool policy (env var / machine
+    // parallelism); whatever it resolves to, the bytes must match serial.
+    let ranks = [3usize, 2, 3];
+    let x = test_tensor(&[25, 20, 9], &ranks, 3);
+    let serial = decompose_bits(&x, &ranks, 3, 1);
+    let auto = decompose_bits(&x, &ranks, 3, 0);
+    assert_eq!(serial, auto);
+}

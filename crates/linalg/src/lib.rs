@@ -47,6 +47,7 @@ pub mod lu;
 pub mod matrix;
 pub mod norms;
 pub mod ops;
+pub mod pool;
 pub mod qr;
 pub mod qrcp;
 pub mod random;

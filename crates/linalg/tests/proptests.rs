@@ -100,6 +100,58 @@ proptest! {
     }
 
     #[test]
+    fn packed_gemm_matches_naive_at_awkward_shapes(
+        mi in 0usize..8, ni in 0usize..8, pi in 0usize..8, seed in any::<u64>()
+    ) {
+        use rand::{Rng, SeedableRng};
+        // Dimensions chosen to stress the packed kernel's edges: unit dims
+        // (1×n / n×1 products), sizes just off the 4×8 register tile and
+        // the 256-wide packing block, and tall/wide aspect ratios.
+        const DIMS: [usize; 8] = [1, 2, 3, 4, 5, 9, 31, 257];
+        let (m, n, p) = (DIMS[mi], DIMS[ni], DIMS[pi]);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a = Matrix::from_fn(m, n, |_, _| rng.gen_range(-2.0..2.0));
+        let b = Matrix::from_fn(n, p, |_, _| rng.gen_range(-2.0..2.0));
+
+        // Naive triple loop in the same (k-inner) accumulation order.
+        let mut want = Matrix::zeros(m, p);
+        for i in 0..m {
+            for j in 0..p {
+                let mut acc = 0.0;
+                for k in 0..n {
+                    acc += a.get(i, k) * b.get(k, j);
+                }
+                want.set(i, j, acc);
+            }
+        }
+        let got = matmul(&a, &b);
+        prop_assert!(got.approx_eq(&want, 1e-12 * (n as f64 + 1.0)));
+        prop_assert!(t_matmul(&a.transpose(), &b).approx_eq(&want, 1e-12 * (n as f64 + 1.0)));
+        prop_assert!(matmul_t(&a, &b.transpose()).approx_eq(&want, 1e-12 * (n as f64 + 1.0)));
+    }
+
+    #[test]
+    fn threaded_gemm_is_bitwise_serial_at_awkward_shapes(
+        mi in 0usize..6, pi in 0usize..6, nthreads in 2usize..=6, seed in any::<u64>()
+    ) {
+        use dtucker_linalg::gemm::matmul_into_threaded;
+        use rand::{Rng, SeedableRng};
+        const DIMS: [usize; 6] = [1, 3, 4, 5, 9, 130];
+        let (m, p) = (DIMS[mi], DIMS[pi]);
+        let n = 33;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a: Vec<f64> = (0..m * n).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        let b: Vec<f64> = (0..n * p).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        let mut serial = vec![0.0; m * p];
+        let mut threaded = vec![0.0; m * p];
+        matmul_into_threaded(&a, &b, &mut serial, m, n, p, 1);
+        matmul_into_threaded(&a, &b, &mut threaded, m, n, p, nthreads);
+        for (x, y) in serial.iter().zip(threaded.iter()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
     fn lu_solve_round_trip(n in 1usize..=8, seed in any::<u64>()) {
         use rand::{Rng, SeedableRng};
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);

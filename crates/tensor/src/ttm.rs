@@ -4,11 +4,17 @@
 //! materializing the unfolding: with Fortran layout the tensor factors into
 //! `right` contiguous blocks that are row-major `Iₙ × left` matrices, so the
 //! product is a batch of GEMMs over buffer windows.
+//!
+//! Large contractions fan out across the shared worker pool: the batch of
+//! `right` independent GEMMs is split block-wise (bit-identical for any
+//! thread count since each output block is computed by exactly one worker),
+//! and a single big GEMM (`right == 1`) splits internally by output rows.
 
 use crate::dense::DenseTensor;
 use crate::error::{Result, TensorError};
-use dtucker_linalg::gemm::{matmul_into, t_matmul_into};
+use dtucker_linalg::gemm::{matmul_into, matmul_into_threaded, t_matmul_into_threaded};
 use dtucker_linalg::matrix::Matrix;
+use dtucker_linalg::pool;
 
 /// Computes `X ×ₙ A` where `A ∈ R^{J×Iₙ}` (contracting `A`'s columns with
 /// mode `n`). The result has mode `n` of size `J`.
@@ -47,17 +53,27 @@ pub fn ttm(x: &DenseTensor, a: &Matrix, mode: usize) -> Result<DenseTensor> {
     let xout = out.as_mut_slice();
     let in_block = i_n * left;
     let out_block = j * left;
-    for r in 0..right {
+    let nthreads = pool::threads_for_flops(2 * j * i_n * left * right);
+    if right == 1 {
+        // One big GEMM: let it split internally by output rows.
+        matmul_into_threaded(a.as_slice(), xin, xout, j, i_n, left, nthreads);
+    } else {
         // Input block r is a row-major Iₙ × left matrix; output block is
-        // row-major J × left.
-        matmul_into(
-            a.as_slice(),
-            &xin[r * in_block..(r + 1) * in_block],
-            &mut xout[r * out_block..(r + 1) * out_block],
-            j,
-            i_n,
-            left,
-        );
+        // row-major J × left. Blocks are independent, so the batch fans out
+        // across the pool block-wise.
+        pool::parallel_chunks(xout, out_block, nthreads, |r0, chunk| {
+            for (b, cblk) in chunk.chunks_exact_mut(out_block).enumerate() {
+                let r = r0 + b;
+                matmul_into(
+                    a.as_slice(),
+                    &xin[r * in_block..(r + 1) * in_block],
+                    cblk,
+                    j,
+                    i_n,
+                    left,
+                );
+            }
+        });
     }
     Ok(out)
 }
@@ -100,15 +116,23 @@ pub fn ttm_t(x: &DenseTensor, a: &Matrix, mode: usize) -> Result<DenseTensor> {
     let xout = out.as_mut_slice();
     let in_block = i_n * left;
     let out_block = j * left;
-    for r in 0..right {
-        t_matmul_into(
-            a.as_slice(),
-            &xin[r * in_block..(r + 1) * in_block],
-            &mut xout[r * out_block..(r + 1) * out_block],
-            i_n,
-            j,
-            left,
-        );
+    let nthreads = pool::threads_for_flops(2 * j * i_n * left * right);
+    if right == 1 {
+        t_matmul_into_threaded(a.as_slice(), xin, xout, i_n, j, left, nthreads);
+    } else {
+        pool::parallel_chunks(xout, out_block, nthreads, |r0, chunk| {
+            for (b, cblk) in chunk.chunks_exact_mut(out_block).enumerate() {
+                let r = r0 + b;
+                dtucker_linalg::gemm::t_matmul_into(
+                    a.as_slice(),
+                    &xin[r * in_block..(r + 1) * in_block],
+                    cblk,
+                    i_n,
+                    j,
+                    left,
+                );
+            }
+        });
     }
     Ok(out)
 }

@@ -1,0 +1,195 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Supports the API subset this workspace's benches use: `Criterion`,
+//! `benchmark_group` with `sample_size`/`bench_function`/`bench_with_input`/
+//! `finish`, `BenchmarkId::new`, `Bencher::iter`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement is deliberately simple: a short calibration run picks an
+//! iteration count targeting a few milliseconds per sample, then
+//! `sample_size` samples are timed and the median per-iteration wall time
+//! is printed. No statistics beyond min/median/max, no HTML reports.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Target wall time per sample during measurement.
+const TARGET_SAMPLE: Duration = Duration::from_millis(5);
+/// Cap on total time spent per benchmark.
+const MAX_BENCH_TIME: Duration = Duration::from_secs(3);
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 50,
+        }
+    }
+
+    /// Runs a single benchmark outside a group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) {
+        let mut g = self.benchmark_group("");
+        g.bench_function(name, f);
+    }
+}
+
+/// A named set of benchmarks sharing a sample size.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets how many samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Benchmarks `f`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl Display, f: F) {
+        self.run(&name.to_string(), f);
+    }
+
+    /// Benchmarks `f`, passing it `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        self.run(&id.0, |bch| f(bch, input));
+    }
+
+    /// Ends the group (printing happens eagerly; this is a no-op hook).
+    pub fn finish(self) {}
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        let label = if self.name.is_empty() {
+            name.to_string()
+        } else {
+            format!("{}/{}", self.name, name)
+        };
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        let mut per_iter = bencher.samples;
+        if per_iter.is_empty() {
+            println!("{label:<44} (no samples)");
+            return;
+        }
+        per_iter.sort_unstable();
+        let median = per_iter[per_iter.len() / 2];
+        let min = per_iter[0];
+        let max = per_iter[per_iter.len() - 1];
+        println!(
+            "{label:<44} time: [{} {} {}]",
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(max)
+        );
+    }
+}
+
+fn fmt_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.4} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.4} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.4} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Identifier combining a function name with a parameter value.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+}
+
+/// Times closures; handed to each benchmark body.
+pub struct Bencher {
+    /// Per-iteration wall times in nanoseconds, one per sample.
+    samples: Vec<u128>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Measures `f`, recording `sample_size` median-able samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: how many iterations fit in TARGET_SAMPLE?
+        let start = Instant::now();
+        std::hint::black_box(f());
+        let one = start.elapsed().max(Duration::from_nanos(1));
+        let iters = (TARGET_SAMPLE.as_nanos() / one.as_nanos()).clamp(1, 1_000_000) as usize;
+
+        let bench_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            let elapsed = t.elapsed().as_nanos();
+            self.samples.push(elapsed / iters as u128);
+            if bench_start.elapsed() > MAX_BENCH_TIME {
+                break;
+            }
+        }
+    }
+}
+
+/// Prevents the compiler from optimizing away a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Bundles benchmark functions into a single runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point running one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_prints() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("demo");
+        g.sample_size(3);
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.bench_with_input(BenchmarkId::new("sum", 8), &8usize, |b, &n| {
+            b.iter(|| (0..n).sum::<usize>())
+        });
+        g.finish();
+    }
+}
