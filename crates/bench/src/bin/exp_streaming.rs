@@ -2,12 +2,25 @@
 //! time and accuracy of `DTuckerStream` vs recomputing D-Tucker from
 //! scratch at every step.
 //!
+//! Raw numbers also go to `BENCH_streaming.json` at the repo root, in the
+//! same top-level schema as `BENCH_threads.json`.
+//!
 //! Usage: `cargo run -p dtucker-bench --release --bin exp_streaming --
-//!         [--scale ci|bench|paper] [--rank J] [--seed S] [--steps K]`
+//!         [--scale ci|bench|paper] [--rank J] [--seed S] [--steps K]
+//!         [--json PATH]`
 
 use dtucker_bench::{secs, time, Args, Table};
 use dtucker_core::{DTucker, DTuckerConfig, DTuckerStream};
 use dtucker_data::{generate, parse_scale, Dataset, Scale};
+
+struct Measurement {
+    append: usize,
+    timesteps: usize,
+    stream_update_s: f64,
+    stream_err: f64,
+    batch_recompute_s: f64,
+    batch_err: f64,
+}
 
 fn main() {
     let args = Args::capture();
@@ -22,6 +35,10 @@ fn main() {
         .get("dataset")
         .map(|n| Dataset::parse(n).expect("unknown --dataset"))
         .unwrap_or(Dataset::Traffic);
+    let json_path = args
+        .get("json")
+        .unwrap_or("BENCH_streaming.json")
+        .to_string();
 
     let x = generate(ds, scale, seed).expect("dataset generation failed");
     let rank = rank.min(*x.shape().iter().min().expect("non-empty shape"));
@@ -54,6 +71,7 @@ fn main() {
     ])
     .with_csv("e7_streaming");
 
+    let mut runs: Vec<Measurement> = Vec::new();
     let mut t_end = t0;
     for a in 0..steps {
         let next = (t_end + block).min(t_total);
@@ -91,9 +109,66 @@ fn main() {
                 batch_time.as_secs_f64() / update_time.as_secs_f64().max(1e-9)
             ),
         ]);
+        runs.push(Measurement {
+            append: a + 1,
+            timesteps: t_end,
+            stream_update_s: update_time.as_secs_f64(),
+            stream_err,
+            batch_recompute_s: batch_time.as_secs_f64(),
+            batch_err,
+        });
     }
     table.print();
-    println!("\nExpected shape: streaming updates cost a small fraction of a batch");
+
+    write_json(&json_path, ds.name(), x.shape(), rank, seed, &runs);
+    println!("\nWrote {json_path}");
+    println!("Expected shape: streaming updates cost a small fraction of a batch");
     println!("recompute (only the new slices are compressed + a few warm sweeps) at");
     println!("near-identical error.");
+}
+
+/// Hand-rolled JSON (the offline crate set has no serde), matching the
+/// `BENCH_threads.json` top-level schema.
+fn write_json(
+    path: &str,
+    dataset: &str,
+    shape: &[usize],
+    rank: usize,
+    seed: u64,
+    runs: &[Measurement],
+) {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"experiment\": \"e7_streaming\",\n");
+    s.push_str(&format!("  \"dataset\": \"{dataset}\",\n"));
+    s.push_str(&format!(
+        "  \"shape\": [{}],\n",
+        shape
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    s.push_str(&format!("  \"rank\": {rank},\n"));
+    s.push_str(&format!("  \"seed\": {seed},\n"));
+    s.push_str(&format!("  \"hardware_threads\": {cores},\n"));
+    s.push_str("  \"runs\": [\n");
+    for (i, m) in runs.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"append\": {}, \"timesteps\": {}, \"stream_update_s\": {:.6}, \
+             \"stream_err\": {:.6}, \"batch_recompute_s\": {:.6}, \"batch_err\": {:.6}, \
+             \"speedup\": {:.3}}}{}\n",
+            m.append,
+            m.timesteps,
+            m.stream_update_s,
+            m.stream_err,
+            m.batch_recompute_s,
+            m.batch_err,
+            m.batch_recompute_s / m.stream_update_s.max(1e-9),
+            if i + 1 == runs.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    std::fs::write(path, s).expect("writing BENCH_streaming.json");
 }

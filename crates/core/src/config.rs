@@ -43,6 +43,13 @@ pub struct DTuckerConfig {
     /// used as-is (capped at the pool's `MAX_THREADS`). Results are
     /// bit-identical for every setting.
     pub threads: usize,
+    /// Frontal slices resident at once when compressing through a
+    /// `SliceSource` (the out-of-core approximation path). `0` (the
+    /// default) means "auto": twice the resolved thread count, at least 4.
+    /// Peak memory of the approximation phase scales with
+    /// `chunk_slices · I₁ · I₂`; results are bit-identical for every
+    /// setting.
+    pub chunk_slices: usize,
 }
 
 impl DTuckerConfig {
@@ -60,6 +67,7 @@ impl DTuckerConfig {
             tolerance: 1e-4,
             seed: 0,
             threads: 1,
+            chunk_slices: 0,
         }
     }
 
@@ -79,6 +87,25 @@ impl DTuckerConfig {
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
         self
+    }
+
+    /// Sets the out-of-core chunk size (builder style). `0` means "auto" —
+    /// see [`DTuckerConfig::chunk_slices`].
+    pub fn with_chunk_slices(mut self, chunk: usize) -> Self {
+        self.chunk_slices = chunk;
+        self
+    }
+
+    /// Resolved chunk size for a source with `num_slices` frontal slices:
+    /// the configured value (or the auto policy for `0`), clamped to
+    /// `1..=num_slices`.
+    pub fn effective_chunk_slices(&self, num_slices: usize) -> usize {
+        let chunk = if self.chunk_slices == 0 {
+            (dtucker_linalg::pool::resolve_threads(self.threads) * 2).max(4)
+        } else {
+            self.chunk_slices
+        };
+        chunk.clamp(1, num_slices.max(1))
     }
 
     /// Effective slice rank for a tensor whose two leading (largest) modes
@@ -152,6 +179,19 @@ mod tests {
         // 0 is preserved: it means "auto" and resolves via the pool policy.
         let auto = DTuckerConfig::uniform(5, 3).with_threads(0);
         assert_eq!(auto.threads, 0);
+    }
+
+    #[test]
+    fn chunk_slices_resolution() {
+        let c = DTuckerConfig::uniform(5, 3);
+        assert_eq!(c.chunk_slices, 0);
+        // Auto with 1 thread: at least 4, clamped to the slice count.
+        assert_eq!(c.effective_chunk_slices(100), 4);
+        assert_eq!(c.effective_chunk_slices(3), 3);
+        assert_eq!(c.effective_chunk_slices(0), 1);
+        let c = c.with_chunk_slices(7);
+        assert_eq!(c.effective_chunk_slices(100), 7);
+        assert_eq!(c.effective_chunk_slices(5), 5);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use crate::config::DTuckerConfig;
 use crate::error::Result;
 use crate::init::initialize_threaded;
-use crate::iterate::iterate;
+use crate::iterate::{iterate, iterate_from, SweepHook, SweepState};
 use crate::slices::SlicedTensor;
 use crate::trace::ConvergenceTrace;
 use crate::tucker::TuckerDecomp;
@@ -160,6 +160,73 @@ impl DTucker {
 
         let t2 = Instant::now();
         let iter_out = iterate(sliced, &ranks_int, init_factors, &self.cfg)?;
+        let iteration = t2.elapsed();
+
+        let decomposition = internal_to_original(&perm, iter_out.factors, iter_out.core)?;
+        Ok(DTuckerOutput {
+            decomposition,
+            trace: iter_out.trace,
+            timings: PhaseTimings {
+                approximation: Duration::ZERO,
+                initialization,
+                iteration,
+            },
+            sliced: sliced.clone(),
+        })
+    }
+
+    /// Checkpointable variant of [`Self::decompose_sliced`]: the iteration
+    /// phase starts from `resume` (a [`SweepState`] restored from a
+    /// checkpoint) when given, skipping the initialization phase, and
+    /// `on_sweep` runs after every completed sweep (a checkpoint writer, or
+    /// a hook that errors to simulate a crash). Resuming a killed run
+    /// produces factors **bit-identical** to the uninterrupted run.
+    pub fn decompose_sliced_resumable(
+        &self,
+        sliced: &SlicedTensor,
+        resume: Option<SweepState>,
+        on_sweep: &mut SweepHook<'_>,
+    ) -> Result<DTuckerOutput> {
+        let perm = sliced.perm().to_vec();
+        let ranks_int: Vec<usize> = perm.iter().map(|&p| self.cfg.ranks[p]).collect();
+
+        let t1 = Instant::now();
+        let state = match resume {
+            Some(state) => {
+                if state.factors.len() != perm.len() {
+                    return Err(crate::error::CoreError::InvalidConfig {
+                        details: format!(
+                            "resume state has {} factors for an order-{} tensor",
+                            state.factors.len(),
+                            perm.len()
+                        ),
+                    });
+                }
+                for (m, (f, (&i, &j))) in state
+                    .factors
+                    .iter()
+                    .zip(sliced.shape().iter().zip(ranks_int.iter()))
+                    .enumerate()
+                {
+                    if f.shape() != (i, j) {
+                        return Err(crate::error::CoreError::InvalidConfig {
+                            details: format!(
+                                "resume factor {m} is {:?}, expected ({i}, {j})",
+                                f.shape()
+                            ),
+                        });
+                    }
+                }
+                state
+            }
+            None => SweepState::fresh(
+                initialize_threaded(sliced, &ranks_int, self.cfg.threads)?.factors,
+            ),
+        };
+        let initialization = t1.elapsed();
+
+        let t2 = Instant::now();
+        let iter_out = iterate_from(sliced, &ranks_int, state, &self.cfg, on_sweep)?;
         let iteration = t2.elapsed();
 
         let decomposition = internal_to_original(&perm, iter_out.factors, iter_out.core)?;
@@ -413,6 +480,95 @@ mod tests {
         assert!(out.decomposition.relative_error_sq(&x).unwrap() > 1e-12);
 
         assert!(decompose_to_target_error(&x, 0, 0.1, &base).is_err());
+    }
+
+    #[test]
+    fn killed_run_resumes_bit_identical() {
+        let x = noisy(&[22, 18, 9], &[3, 3, 3], 0.05, 40);
+        let mut cfg = DTuckerConfig::uniform(3, 3).with_seed(41);
+        // Zero tolerance: exactly max_iters sweeps, so there is always a
+        // mid-run point to interrupt at.
+        cfg.tolerance = 0.0;
+        cfg.max_iters = 6;
+        let sliced = crate::slices::SlicedTensor::compress(&x, &cfg).unwrap();
+        let solver = DTucker::new(cfg);
+
+        let baseline = solver
+            .decompose_sliced_resumable(&sliced, None, &mut |_| Ok(()))
+            .unwrap();
+        assert!(baseline.trace.iterations() >= 3, "need sweeps to interrupt");
+
+        // "Crash" after sweep 2, keeping the last snapshot as a checkpoint.
+        let mut saved: Option<SweepState> = None;
+        let killed = solver.decompose_sliced_resumable(&sliced, None, &mut |snap| {
+            saved = Some(SweepState {
+                sweep: snap.sweep,
+                factors: snap.factors.to_vec(),
+                trace: snap.trace.clone(),
+            });
+            if snap.sweep == 2 {
+                return Err(crate::error::CoreError::InvalidConfig {
+                    details: "simulated crash".into(),
+                });
+            }
+            Ok(())
+        });
+        assert!(killed.is_err());
+        let state = saved.unwrap();
+        assert_eq!(state.sweep, 2);
+
+        let resumed = solver
+            .decompose_sliced_resumable(&sliced, Some(state), &mut |_| Ok(()))
+            .unwrap();
+        assert_eq!(
+            resumed.trace.iterations(),
+            baseline.trace.iterations(),
+            "resume must follow the same convergence path"
+        );
+        for (a, b) in resumed
+            .decomposition
+            .factors
+            .iter()
+            .zip(baseline.decomposition.factors.iter())
+        {
+            assert_eq!(a, b, "resumed factors must be bit-identical");
+        }
+        assert_eq!(
+            resumed.decomposition.core.as_slice(),
+            baseline.decomposition.core.as_slice()
+        );
+
+        // A resume state already past max_iters still yields a usable
+        // output (core recomputed from the factors). The state stores
+        // factors in internal order.
+        let done_state = SweepState {
+            sweep: baseline.trace.iterations(),
+            factors: sliced
+                .perm()
+                .iter()
+                .map(|&p| baseline.decomposition.factors[p].clone())
+                .collect(),
+            trace: baseline.trace.clone(),
+        };
+        let mut c2 = solver.config().clone();
+        c2.max_iters = done_state.sweep.max(1);
+        let finished = DTucker::new(c2)
+            .decompose_sliced_resumable(&sliced, Some(done_state), &mut |_| Ok(()))
+            .unwrap();
+        for (a, b) in finished
+            .decomposition
+            .factors
+            .iter()
+            .zip(baseline.decomposition.factors.iter())
+        {
+            assert_eq!(a, b);
+        }
+
+        // Shape validation on resume.
+        let bad = SweepState::fresh(vec![Matrix::zeros(2, 2); 3]);
+        assert!(solver
+            .decompose_sliced_resumable(&sliced, Some(bad), &mut |_| Ok(()))
+            .is_err());
     }
 
     #[test]

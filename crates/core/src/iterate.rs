@@ -40,22 +40,92 @@ pub struct IterationOutput {
     pub trace: ConvergenceTrace,
 }
 
+/// Owned ALS state between sweeps — everything the iteration phase needs to
+/// continue, and therefore everything a HOOI checkpoint must persist.
+///
+/// Each sweep is a deterministic function of `(factors, trace)` and the
+/// compressed tensor, so resuming from a state snapshot reproduces the
+/// uninterrupted run **bit for bit** (the trace carries the previous fits
+/// the stopping rule compares against).
+#[derive(Debug, Clone)]
+pub struct SweepState {
+    /// Completed sweeps so far (the next sweep executed is `sweep`).
+    pub sweep: usize,
+    /// Factor matrices in internal mode order.
+    pub factors: Vec<Matrix>,
+    /// Convergence record of the completed sweeps.
+    pub trace: ConvergenceTrace,
+}
+
+impl SweepState {
+    /// State before the first sweep.
+    pub fn fresh(factors: Vec<Matrix>) -> Self {
+        SweepState {
+            sweep: 0,
+            factors,
+            trace: ConvergenceTrace::default(),
+        }
+    }
+}
+
+/// Borrowed view of the state after one sweep, handed to checkpoint hooks.
+#[derive(Debug)]
+pub struct SweepSnapshot<'a> {
+    /// Completed sweeps (1-based: the snapshot after the first sweep has
+    /// `sweep == 1`).
+    pub sweep: usize,
+    /// Current factors in internal mode order.
+    pub factors: &'a [Matrix],
+    /// Convergence record so far.
+    pub trace: &'a ConvergenceTrace,
+    /// Whether the stopping rule fired on this sweep.
+    pub done: bool,
+}
+
+/// Per-sweep checkpoint hook. Returning an error aborts the iteration
+/// (which is also how the kill/resume tests simulate dying mid-run).
+pub type SweepHook<'h> = dyn FnMut(SweepSnapshot<'_>) -> Result<()> + 'h;
+
 /// Runs ALS sweeps starting from `factors` until the fit stalls or
 /// `cfg.max_iters` is reached. `ranks` are in internal order.
 pub fn iterate(
     st: &SlicedTensor,
     ranks: &[usize],
-    mut factors: Vec<Matrix>,
+    factors: Vec<Matrix>,
     cfg: &DTuckerConfig,
 ) -> Result<IterationOutput> {
+    iterate_from(st, ranks, SweepState::fresh(factors), cfg, &mut |_| Ok(()))
+}
+
+/// [`iterate`] with an explicit starting state and a per-sweep hook —
+/// the checkpoint/resume entry point. Continuing from a snapshot produced
+/// by a previous (killed) run yields the exact factors the uninterrupted
+/// run would have produced.
+pub fn iterate_from(
+    st: &SlicedTensor,
+    ranks: &[usize],
+    state: SweepState,
+    cfg: &DTuckerConfig,
+    on_sweep: &mut SweepHook<'_>,
+) -> Result<IterationOutput> {
     let n_modes = st.shape().len();
+    let SweepState {
+        sweep: start,
+        mut factors,
+        mut trace,
+    } = state;
     debug_assert_eq!(factors.len(), n_modes);
     let norm_x = st.norm_x_sq().max(f64::MIN_POSITIVE);
     let threads = pool::resolve_threads(cfg.threads);
-    let mut trace = ConvergenceTrace::default();
     let mut core: Option<DenseTensor> = None;
 
-    for _sweep in 0..cfg.max_iters {
+    for sweep in start..cfg.max_iters {
+        // A resumed trace may already be converged (the checkpoint was
+        // written at the final sweep); running more sweeps would diverge
+        // from what the uninterrupted run produced.
+        if trace.converged {
+            break;
+        }
         update_mode1(st, &mut factors, ranks[0], threads)?;
         update_mode2(st, &mut factors, ranks[1], threads)?;
         // Small projected tensor shared by all trailing updates + the core.
@@ -70,16 +140,37 @@ pub fn iterate(
         let fit = (norm_x - g.fro_norm_sq()).max(0.0).sqrt() / norm_x.sqrt();
         let done = trace.record(fit, cfg.tolerance);
         core = Some(g);
+        on_sweep(SweepSnapshot {
+            sweep: sweep + 1,
+            factors: &factors,
+            trace: &trace,
+            done,
+        })?;
         if done {
             break;
         }
     }
-    let core = core.expect("max_iters >= 1 guarantees at least one sweep");
+    // A resumed state may already sit at (or past) the sweep budget; the
+    // loop then never runs, and the core is recomputed from the factors.
+    let core = match core {
+        Some(g) => g,
+        None => compute_core(st, &factors, threads)?,
+    };
     Ok(IterationOutput {
         factors,
         core,
         trace,
     })
+}
+
+/// Core tensor `X ×₁ A⁽¹⁾ᵀ ⋯ ×_N A⁽ᴺ⁾ᵀ` for a fixed set of factors,
+/// evaluated through the slices.
+fn compute_core(st: &SlicedTensor, factors: &[Matrix], threads: usize) -> Result<DenseTensor> {
+    let mut g = projected_tensor_threaded(st, &factors[0], &factors[1], threads)?;
+    for mode in 2..st.shape().len() {
+        g = ttm_t(&g, &factors[mode], mode)?;
+    }
+    Ok(g)
 }
 
 /// Mode-1 update: `A⁽¹⁾ ← J₁` leading left singular vectors of the mode-1

@@ -45,6 +45,7 @@ pub mod init;
 pub mod iterate;
 pub mod profile;
 pub mod slices;
+pub mod source;
 pub mod streaming;
 pub mod trace;
 pub mod tucker;
@@ -52,8 +53,10 @@ pub mod tucker;
 pub use config::{DTuckerConfig, SliceSvdKind};
 pub use dtucker::{decompose_to_target_error, DTucker, DTuckerOutput, InitStrategy, PhaseTimings};
 pub use error::{CoreError, Result};
+pub use iterate::{SweepHook, SweepSnapshot, SweepState};
 pub use profile::{anomalous_indices, error_profile_last_mode};
 pub use slices::{SliceSvd, SlicedTensor};
+pub use source::{InMemorySource, SliceSource, SyntheticSource};
 pub use streaming::DTuckerStream;
 pub use trace::ConvergenceTrace;
 pub use tucker::TuckerDecomp;

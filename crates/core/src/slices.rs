@@ -8,6 +8,7 @@
 
 use crate::config::{DTuckerConfig, SliceSvdKind};
 use crate::error::{CoreError, Result};
+use crate::source::{InMemorySource, SliceSource};
 use dtucker_linalg::matrix::Matrix;
 use dtucker_linalg::pool;
 use dtucker_linalg::rsvd::{rsvd, RsvdConfig};
@@ -96,25 +97,103 @@ impl SlicedTensor {
         cfg: &DTuckerConfig,
     ) -> Result<Self> {
         cfg.validate(x.shape())?;
-        let internal = permute(x, perm)?;
-        let shape = internal.shape().to_vec();
-        let j1 = cfg.ranks[perm[0]];
-        let j2 = if shape.len() > 1 {
-            cfg.ranks[perm[1]]
-        } else {
-            1
-        };
-        let k = cfg.effective_slice_rank(j1, j2).min(shape[0]).min(shape[1]);
-        let num = internal.num_frontal_slices();
+        let mut src = InMemorySource::with_perm(x, perm)?;
+        Self::compress_source(&mut src, cfg)
+    }
 
-        let slices = compress_slices(&internal, k, cfg, 0)?;
-        debug_assert_eq!(slices.len(), num);
+    /// Compresses a tensor presented through a [`SliceSource`] — the
+    /// out-of-core approximation phase. Slices are loaded in chunks of
+    /// [`DTuckerConfig::chunk_slices`] (0 = auto) and compressed across the
+    /// shared worker pool, so peak memory is
+    /// `O(I₁·I₂·chunk + compressed output)` instead of `O(I₁·I₂·L)`.
+    ///
+    /// Per-slice RNG seeds depend only on `cfg.seed` and the global slice
+    /// index, and the source's norm contract is bit-exact, so the result is
+    /// **bit-identical** for every chunk size, thread count, and source
+    /// backing (in-memory vs on-disk) of the same data.
+    pub fn compress_source(src: &mut dyn SliceSource, cfg: &DTuckerConfig) -> Result<Self> {
+        cfg.validate(&src.original_shape())?;
+        let shape = src.shape().to_vec();
+        let perm = src.perm().to_vec();
+        let j1 = cfg.ranks[perm[0]];
+        let j2 = cfg.ranks[perm[1]];
+        let k = cfg.effective_slice_rank(j1, j2).min(shape[0]).min(shape[1]);
+        let num = src.num_slices();
+        let slices = compress_source_slices(src, k, cfg, 0, num)?;
+        let norm_x_sq = src.fro_norm_sq()?;
         Ok(SlicedTensor {
             shape,
-            perm: perm.to_vec(),
+            perm,
             slice_rank: k,
             slices,
-            norm_x_sq: x.fro_norm_sq(),
+            norm_x_sq,
+        })
+    }
+
+    /// Rebuilds a [`SlicedTensor`] from its raw parts (deserialization
+    /// hook for the `dtucker-store` artifact format). Validates shape,
+    /// permutation, slice count, and per-slice dimensions.
+    pub fn from_parts(
+        shape: Vec<usize>,
+        perm: Vec<usize>,
+        slice_rank: usize,
+        slices: Vec<SliceSvd>,
+        norm_x_sq: f64,
+    ) -> Result<Self> {
+        let invalid = |details: String| CoreError::InvalidConfig { details };
+        if shape.len() < 2 || shape.contains(&0) {
+            return Err(invalid(format!("implausible sliced shape {shape:?}")));
+        }
+        if perm.len() != shape.len() {
+            return Err(invalid(format!(
+                "perm {perm:?} does not match order {}",
+                shape.len()
+            )));
+        }
+        let mut seen = vec![false; perm.len()];
+        for &p in &perm {
+            if p >= perm.len() || seen[p] {
+                return Err(invalid(format!("{perm:?} is not a permutation")));
+            }
+            seen[p] = true;
+        }
+        let expected: usize = shape[2..].iter().product();
+        if slices.len() != expected {
+            return Err(invalid(format!(
+                "shape {shape:?} has {expected} slices, got {}",
+                slices.len()
+            )));
+        }
+        if slice_rank == 0 || slice_rank > shape[0].min(shape[1]) {
+            return Err(invalid(format!(
+                "slice rank {slice_rank} invalid for leading dims {}x{}",
+                shape[0], shape[1]
+            )));
+        }
+        for (l, sl) in slices.iter().enumerate() {
+            let k = sl.s.len();
+            if k == 0 || k > slice_rank {
+                return Err(invalid(format!(
+                    "slice {l} stores rank {k}, outside 1..={slice_rank}"
+                )));
+            }
+            if sl.u.shape() != (shape[0], k) || sl.v.shape() != (shape[1], k) {
+                return Err(invalid(format!(
+                    "slice {l} factor shapes {:?}/{:?} inconsistent with {shape:?} rank {k}",
+                    sl.u.shape(),
+                    sl.v.shape()
+                )));
+            }
+        }
+        if !norm_x_sq.is_finite() || norm_x_sq < 0.0 {
+            return Err(invalid(format!("implausible norm {norm_x_sq}")));
+        }
+        Ok(SlicedTensor {
+            shape,
+            perm,
+            slice_rank,
+            slices,
+            norm_x_sq,
         })
     }
 
@@ -331,6 +410,40 @@ impl SlicedTensor {
         self.norm_x_sq += block.fro_norm_sq();
         Ok(())
     }
+
+    /// Appends a block presented through a [`SliceSource`] that already
+    /// serves slices in **this** representation's internal order: the
+    /// source's permutation must equal [`perm`](Self::perm) and its shape
+    /// must match in every mode except the internal last one. The block's
+    /// slices are loaded in chunks, so streaming appends never materialize
+    /// the block as a `DenseTensor`.
+    pub fn append_source(&mut self, src: &mut dyn SliceSource, cfg: &DTuckerConfig) -> Result<()> {
+        let n = self.shape.len();
+        if src.perm() != self.perm.as_slice() {
+            return Err(CoreError::InvalidConfig {
+                details: format!(
+                    "source perm {:?} does not match representation perm {:?}",
+                    src.perm(),
+                    self.perm
+                ),
+            });
+        }
+        if src.shape().len() != n || src.shape()[..n - 1] != self.shape[..n - 1] {
+            return Err(CoreError::InvalidConfig {
+                details: format!(
+                    "source shape {:?} incompatible with {:?} (all modes but the last must match)",
+                    src.shape(),
+                    self.shape
+                ),
+            });
+        }
+        let num = src.num_slices();
+        let new_slices = compress_source_slices(src, self.slice_rank, cfg, self.slices.len(), num)?;
+        self.slices.extend(new_slices);
+        self.shape[n - 1] += src.shape()[n - 1];
+        self.norm_x_sq += src.fro_norm_sq()?;
+        Ok(())
+    }
 }
 
 /// Compresses every frontal slice of `internal`, fanning out across the
@@ -354,9 +467,44 @@ fn compress_slices(
     .collect()
 }
 
+/// Compresses slices `[index_offset, index_offset + num)` drawn from a
+/// [`SliceSource`] in chunks of `cfg.effective_chunk_slices(..)`: each
+/// chunk is loaded serially (sources own I/O cursors), then its per-slice
+/// SVDs fan out over the shared worker pool. Seeds use the **global** slice
+/// index, so chunking and threading never change the result.
+fn compress_source_slices(
+    src: &mut dyn SliceSource,
+    k: usize,
+    cfg: &DTuckerConfig,
+    index_offset: usize,
+    num: usize,
+) -> Result<Vec<SliceSvd>> {
+    let chunk = cfg.effective_chunk_slices(num);
+    let mut out = Vec::with_capacity(num);
+    let mut l0 = 0usize;
+    while l0 < num {
+        let l1 = (l0 + chunk).min(num);
+        let mats = src.load_slices(l0, l1)?;
+        let threads = pool::resolve_threads(cfg.threads).min(l1 - l0);
+        let compressed: Result<Vec<SliceSvd>> = pool::parallel_map(l1 - l0, threads, |i| {
+            compress_one(
+                &mats[i],
+                k,
+                cfg,
+                slice_seed(cfg.seed, index_offset + l0 + i),
+            )
+        })
+        .into_iter()
+        .collect();
+        out.extend(compressed?);
+        l0 = l1;
+    }
+    Ok(out)
+}
+
 /// Derives a per-slice seed (splitmix-style) so compression is reproducible
 /// independent of threading.
-fn slice_seed(base: u64, l: usize) -> u64 {
+pub(crate) fn slice_seed(base: u64, l: usize) -> u64 {
     let mut z = base ^ (l as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -616,6 +764,117 @@ mod tests {
         cfg.slice_svd = SliceSvdKind::Exact;
         let st = SlicedTensor::compress_sparse(&sx, &cfg).unwrap();
         assert!(st.compression_error_sq(&x).unwrap() < 1e-10);
+    }
+
+    fn assert_bit_identical(a: &SlicedTensor, b: &SlicedTensor) {
+        assert_eq!(a.shape(), b.shape());
+        assert_eq!(a.perm(), b.perm());
+        assert_eq!(a.slice_rank(), b.slice_rank());
+        assert_eq!(a.norm_x_sq().to_bits(), b.norm_x_sq().to_bits());
+        assert_eq!(a.num_slices(), b.num_slices());
+        for (x, y) in a.slices().iter().zip(b.slices().iter()) {
+            assert_eq!(x.u, y.u);
+            assert_eq!(x.s, y.s);
+            assert_eq!(x.v, y.v);
+        }
+    }
+
+    #[test]
+    fn chunk_size_never_changes_the_result() {
+        let mut rng = StdRng::seed_from_u64(30);
+        let x = low_rank_plus_noise(&[18, 14, 11], &[3, 3, 3], 0.05, &mut rng).unwrap();
+        let baseline = SlicedTensor::compress(&x, &config(3, 3)).unwrap();
+        // Non-divisible, single-slice, oversized, and threaded chunkings
+        // must all be bit-identical to the default.
+        for (chunk, threads) in [(1usize, 1usize), (3, 1), (5, 4), (100, 2)] {
+            let cfg = config(3, 3).with_chunk_slices(chunk).with_threads(threads);
+            let st = SlicedTensor::compress(&x, &cfg).unwrap();
+            assert_bit_identical(&st, &baseline);
+        }
+    }
+
+    #[test]
+    fn compress_source_synthetic_matches_materialized() {
+        use crate::source::SyntheticSource;
+        let mut src = SyntheticSource::new(&[16, 12, 7], 3, 99).unwrap();
+        let x = src.materialize().unwrap();
+        let cfg = config(3, 3).with_chunk_slices(2);
+        let from_source = SlicedTensor::compress_source(&mut src, &cfg).unwrap();
+        let from_tensor = SlicedTensor::compress_with_perm(&x, &[0, 1, 2], &cfg).unwrap();
+        assert_bit_identical(&from_source, &from_tensor);
+    }
+
+    #[test]
+    fn from_parts_round_trip_and_validation() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let x = low_rank_plus_noise(&[12, 10, 4], &[2, 2, 2], 0.1, &mut rng).unwrap();
+        let st = SlicedTensor::compress(&x, &config(2, 3)).unwrap();
+        let rebuilt = SlicedTensor::from_parts(
+            st.shape().to_vec(),
+            st.perm().to_vec(),
+            st.slice_rank(),
+            st.slices().to_vec(),
+            st.norm_x_sq(),
+        )
+        .unwrap();
+        assert_bit_identical(&rebuilt, &st);
+
+        let parts = |st: &SlicedTensor| {
+            (
+                st.shape().to_vec(),
+                st.perm().to_vec(),
+                st.slice_rank(),
+                st.slices().to_vec(),
+                st.norm_x_sq(),
+            )
+        };
+        // Order < 2 / zero dims.
+        let (_, p, k, sl, n) = parts(&st);
+        assert!(SlicedTensor::from_parts(vec![12], p, k, sl, n).is_err());
+        // Bad permutation.
+        let (s, _, k, sl, n) = parts(&st);
+        assert!(SlicedTensor::from_parts(s, vec![0, 0, 2], k, sl, n).is_err());
+        // Slice count mismatch.
+        let (s, p, k, mut sl, n) = parts(&st);
+        sl.pop();
+        assert!(SlicedTensor::from_parts(s, p, k, sl, n).is_err());
+        // Slice rank outside the leading dims.
+        let (s, p, _, sl, n) = parts(&st);
+        assert!(SlicedTensor::from_parts(s, p, 11, sl, n).is_err());
+        // Inconsistent factor shape.
+        let (s, p, k, mut sl, n) = parts(&st);
+        sl[0].u = Matrix::zeros(3, k);
+        assert!(SlicedTensor::from_parts(s, p, k, sl, n).is_err());
+        // Non-finite norm.
+        let (s, p, k, sl, _) = parts(&st);
+        assert!(SlicedTensor::from_parts(s, p, k, sl, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn append_source_matches_append_block() {
+        use crate::source::InMemorySource;
+        let mut rng = StdRng::seed_from_u64(32);
+        let x = low_rank_plus_noise(&[10, 16, 12], &[2, 2, 2], 0.02, &mut rng).unwrap();
+        let head = x.subtensor_last(0, 7).unwrap();
+        let tail = x.subtensor_last(7, 12).unwrap();
+        let cfg = config(2, 3).with_chunk_slices(2);
+
+        let mut via_block = SlicedTensor::compress_keep_last(&head, &cfg).unwrap();
+        let mut via_source = via_block.clone();
+        via_block.append_block(&tail, &cfg).unwrap();
+        let mut src = InMemorySource::with_perm(&tail, via_source.perm()).unwrap();
+        via_source.append_source(&mut src, &cfg).unwrap();
+        assert_bit_identical(&via_source, &via_block);
+
+        // Mismatched perm rejected.
+        let mut bad = InMemorySource::with_perm(&tail, &[0, 1, 2]).unwrap();
+        if bad.perm() != via_source.perm() {
+            assert!(via_source.append_source(&mut bad, &cfg).is_err());
+        }
+        // Mismatched leading shape rejected.
+        let wrong = DenseTensor::zeros(&[10, 15, 2]).unwrap();
+        let mut wrong_src = InMemorySource::with_perm(&wrong, via_source.perm()).unwrap();
+        assert!(via_source.append_source(&mut wrong_src, &cfg).is_err());
     }
 
     #[test]

@@ -14,6 +14,7 @@ use crate::error::{CoreError, Result};
 use crate::init::initialize_threaded;
 use crate::iterate::iterate;
 use crate::slices::SlicedTensor;
+use crate::source::SliceSource;
 use crate::trace::ConvergenceTrace;
 use crate::tucker::TuckerDecomp;
 use dtucker_linalg::matrix::Matrix;
@@ -71,12 +72,24 @@ impl DTuckerStream {
             });
         }
         self.sliced.append_block(block, &self.cfg)?;
+        self.refresh()
+    }
 
-        // Warm start: keep the non-temporal factors and zero-pad the
-        // temporal factor to the new row count. The first ALS sweep's
-        // mode-N update recomputes the whole temporal factor from the
-        // (barely moved) non-temporal ones, so no re-initialization pass
-        // over the history is needed.
+    /// Appends a block arriving through a [`SliceSource`] (an on-disk or
+    /// generated block that never needs to exist as one `DenseTensor`) and
+    /// refreshes the decomposition. The source must use the stream's mode
+    /// permutation and match its non-temporal shape.
+    pub fn append_source(&mut self, src: &mut dyn SliceSource) -> Result<()> {
+        self.sliced.append_source(src, &self.cfg)?;
+        self.refresh()
+    }
+
+    /// Warm-started factor refresh after an append: keep the non-temporal
+    /// factors and zero-pad the temporal factor to the new row count. The
+    /// first ALS sweep's mode-N update recomputes the whole temporal factor
+    /// from the (barely moved) non-temporal ones, so no re-initialization
+    /// pass over the history is needed.
+    fn refresh(&mut self) -> Result<()> {
         let ranks_int = internal_ranks(&self.cfg, self.sliced.perm());
         let temporal = self.factors_int.len() - 1;
         let mut factors = std::mem::take(&mut self.factors_int);

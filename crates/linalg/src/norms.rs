@@ -19,6 +19,68 @@ pub fn fro_norm(v: &[f64]) -> f64 {
     scale * ssq.sqrt()
 }
 
+/// Incremental state of the [`fro_norm`] computation.
+///
+/// Feeding elements one slice at a time produces **bit-identical** results
+/// to a single [`fro_norm`] call over the concatenated data, because the
+/// scaled accumulation is strictly sequential. Out-of-core readers use this
+/// to compute the norm of a tensor file without loading it whole.
+#[derive(Debug, Clone, Copy)]
+pub struct FroNormAccumulator {
+    scale: f64,
+    ssq: f64,
+}
+
+impl Default for FroNormAccumulator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FroNormAccumulator {
+    /// Fresh accumulator (norm of zero elements is 0).
+    pub fn new() -> Self {
+        FroNormAccumulator {
+            scale: 0.0,
+            ssq: 1.0,
+        }
+    }
+
+    /// Feeds one element.
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        if x != 0.0 {
+            let ax = x.abs();
+            if self.scale < ax {
+                self.ssq = 1.0 + self.ssq * (self.scale / ax).powi(2);
+                self.scale = ax;
+            } else {
+                self.ssq += (ax / self.scale).powi(2);
+            }
+        }
+    }
+
+    /// Feeds a slice of elements in order.
+    pub fn push_slice(&mut self, v: &[f64]) {
+        for &x in v {
+            self.push(x);
+        }
+    }
+
+    /// The norm accumulated so far.
+    pub fn norm(&self) -> f64 {
+        self.scale * self.ssq.sqrt()
+    }
+
+    /// The squared norm, computed exactly as `DenseTensor::fro_norm_sq`
+    /// does (norm first, then squared — the round trip matters for bit
+    /// identity).
+    pub fn norm_sq(&self) -> f64 {
+        let n = self.norm();
+        n * n
+    }
+}
+
 /// Squared Euclidean norm (plain accumulation; fine for well-scaled data).
 #[inline]
 pub fn norm_sq(v: &[f64]) -> f64 {
@@ -128,6 +190,24 @@ mod tests {
         // Diagonal case.
         let d = Matrix::from_diag(&[2.0, 7.0, 1.0]);
         assert!((spectral_norm_est(&d, 60) - 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn accumulator_matches_fro_norm_bitwise() {
+        let v: Vec<f64> = (0..257)
+            .map(|i| ((i as f64) * 0.7311 - 90.0) * 1e3)
+            .collect();
+        // Any chunking must reproduce the one-shot norm exactly.
+        for chunk in [1usize, 3, 64, 257] {
+            let mut acc = FroNormAccumulator::new();
+            for c in v.chunks(chunk) {
+                acc.push_slice(c);
+            }
+            assert_eq!(acc.norm().to_bits(), fro_norm(&v).to_bits());
+        }
+        let empty = FroNormAccumulator::new();
+        assert_eq!(empty.norm(), 0.0);
+        assert_eq!(empty.norm_sq(), 0.0);
     }
 
     #[test]

@@ -1,0 +1,125 @@
+//! Error types for the artifact store.
+
+use dtucker_core::CoreError;
+use dtucker_tensor::TensorError;
+use std::fmt;
+
+/// Errors produced while reading or writing persistent artifacts.
+///
+/// Corrupt or truncated inputs always surface as a typed error — decoding
+/// never panics, whatever the bytes.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying filesystem failure.
+    Io(std::io::Error),
+    /// The bytes are not a well-formed artifact (bad magic, truncation,
+    /// implausible header fields).
+    Format(String),
+    /// The container is well-formed but written by a newer format revision.
+    UnsupportedVersion {
+        /// Version found in the header.
+        found: u16,
+        /// Highest version this build understands.
+        supported: u16,
+    },
+    /// The checksum does not match the payload — the file was damaged.
+    Corrupt {
+        /// CRC stored in the file.
+        stored: u32,
+        /// CRC computed over the bytes actually read.
+        computed: u32,
+    },
+    /// The artifact decodes but does not match what the caller asked for
+    /// (wrong kind, incompatible shapes/config on resume).
+    Mismatch(String),
+    /// A reconstructed value failed the core library's validation.
+    Core(CoreError),
+    /// A tensor-level operation failed.
+    Tensor(TensorError),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "i/o error: {e}"),
+            StoreError::Format(d) => write!(f, "malformed artifact: {d}"),
+            StoreError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "artifact version {found} is newer than supported {supported}"
+            ),
+            StoreError::Corrupt { stored, computed } => write!(
+                f,
+                "checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            ),
+            StoreError::Mismatch(d) => write!(f, "artifact mismatch: {d}"),
+            StoreError::Core(e) => write!(f, "core error: {e}"),
+            StoreError::Tensor(e) => write!(f, "tensor error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            StoreError::Core(e) => Some(e),
+            StoreError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<CoreError> for StoreError {
+    fn from(e: CoreError) -> Self {
+        StoreError::Core(e)
+    }
+}
+
+impl From<TensorError> for StoreError {
+    fn from(e: TensorError) -> Self {
+        StoreError::Tensor(e)
+    }
+}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, StoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = StoreError::Format("short".into());
+        assert!(e.to_string().contains("short"));
+        assert!(e.source().is_none());
+        let e = StoreError::UnsupportedVersion {
+            found: 9,
+            supported: 1,
+        };
+        assert!(e.to_string().contains('9'));
+        let e = StoreError::Corrupt {
+            stored: 1,
+            computed: 2,
+        };
+        assert!(e.to_string().contains("checksum"));
+        let e: StoreError = std::io::Error::other("disk").into();
+        assert!(e.source().is_some());
+        let e: StoreError = CoreError::InvalidConfig {
+            details: "x".into(),
+        }
+        .into();
+        assert!(e.to_string().contains("core"));
+        let e: StoreError = TensorError::Format("y".into()).into();
+        assert!(e.to_string().contains("tensor"));
+        let e = StoreError::Mismatch("kind".into());
+        assert!(e.to_string().contains("kind"));
+    }
+}

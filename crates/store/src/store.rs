@@ -1,0 +1,244 @@
+//! Directory-backed artifact store.
+//!
+//! [`ArtifactStore`] manages a flat directory of `.dts` containers. All
+//! writes go through the shared atomic temp-file-and-rename helper, so a
+//! crash mid-save leaves the previous artifact (or nothing) — never a torn
+//! file. Names are logical (`"weights"`), extensions are appended by the
+//! store.
+
+use crate::checkpoint::HooiCheckpoint;
+use crate::error::Result;
+use crate::format::{
+    decode_container, decode_sliced, decode_tucker, encode_sliced, encode_tucker, ArtifactKind,
+};
+use dtucker_core::{SlicedTensor, TuckerDecomp};
+use dtucker_tensor::io::atomic_write;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// File extension shared by every artifact kind.
+pub const EXTENSION: &str = "dts";
+
+/// A flat directory of persistent D-Tucker artifacts.
+#[derive(Debug, Clone)]
+pub struct ArtifactStore {
+    dir: PathBuf,
+}
+
+impl ArtifactStore {
+    /// Opens (creating if needed) a store rooted at `dir`.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        Ok(ArtifactStore { dir })
+    }
+
+    /// The directory backing this store.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Full path of the artifact named `name`.
+    pub fn path(&self, name: &str) -> PathBuf {
+        self.dir.join(format!("{name}.{EXTENSION}"))
+    }
+
+    /// Whether an artifact with this name exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.path(name).is_file()
+    }
+
+    /// Removes an artifact (no error if absent).
+    pub fn remove(&self, name: &str) -> Result<()> {
+        match fs::remove_file(self.path(name)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Saves a compressed sliced tensor (atomic).
+    pub fn save_sliced(&self, name: &str, st: &SlicedTensor) -> Result<PathBuf> {
+        let path = self.path(name);
+        atomic_write(&path, &encode_sliced(st))?;
+        Ok(path)
+    }
+
+    /// Loads a sliced tensor.
+    pub fn load_sliced(&self, name: &str) -> Result<SlicedTensor> {
+        decode_sliced(&fs::read(self.path(name))?)
+    }
+
+    /// Saves a Tucker decomposition (atomic).
+    pub fn save_decomposition(&self, name: &str, d: &TuckerDecomp) -> Result<PathBuf> {
+        let path = self.path(name);
+        atomic_write(&path, &encode_tucker(d))?;
+        Ok(path)
+    }
+
+    /// Loads a Tucker decomposition.
+    pub fn load_decomposition(&self, name: &str) -> Result<TuckerDecomp> {
+        decode_tucker(&fs::read(self.path(name))?)
+    }
+
+    /// Saves a HOOI checkpoint (atomic).
+    pub fn save_checkpoint(&self, name: &str, ck: &HooiCheckpoint) -> Result<PathBuf> {
+        let path = self.path(name);
+        atomic_write(&path, &ck.encode())?;
+        Ok(path)
+    }
+
+    /// Loads a HOOI checkpoint.
+    pub fn load_checkpoint(&self, name: &str) -> Result<HooiCheckpoint> {
+        HooiCheckpoint::decode(&fs::read(self.path(name))?)
+    }
+
+    /// Lists the store's artifacts as `(name, kind)`, sorted by name.
+    /// Files that are not valid containers are skipped (they may be
+    /// foreign files, not corruption of ours).
+    pub fn list(&self) -> Result<Vec<(String, ArtifactKind)>> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let path = entry?.path();
+            if path.extension().and_then(|e| e.to_str()) != Some(EXTENSION) {
+                continue;
+            }
+            let Some(stem) = path.file_stem().and_then(|s| s.to_str()) else {
+                continue;
+            };
+            let Ok(bytes) = fs::read(&path) else {
+                continue;
+            };
+            if let Ok((kind, _)) = decode_container(&bytes) {
+                out.push((stem.to_string(), kind));
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+}
+
+/// Loads any artifact file and reports its kind (header + checksum
+/// validation only).
+pub fn probe(path: impl AsRef<Path>) -> Result<ArtifactKind> {
+    let bytes = fs::read(path.as_ref())?;
+    let (kind, _) = decode_container(&bytes)?;
+    Ok(kind)
+}
+
+/// Reads a sliced-tensor artifact from an explicit path.
+pub fn read_sliced(path: impl AsRef<Path>) -> Result<SlicedTensor> {
+    decode_sliced(&fs::read(path.as_ref())?)
+}
+
+/// Writes a sliced-tensor artifact to an explicit path (atomic).
+pub fn write_sliced(path: impl AsRef<Path>, st: &SlicedTensor) -> Result<()> {
+    Ok(atomic_write(path, &encode_sliced(st))?)
+}
+
+/// Reads a Tucker-decomposition artifact from an explicit path.
+pub fn read_decomposition(path: impl AsRef<Path>) -> Result<TuckerDecomp> {
+    decode_tucker(&fs::read(path.as_ref())?)
+}
+
+/// Writes a Tucker-decomposition artifact to an explicit path (atomic).
+pub fn write_decomposition(path: impl AsRef<Path>, d: &TuckerDecomp) -> Result<()> {
+    Ok(atomic_write(path, &encode_tucker(d))?)
+}
+
+/// Reads a checkpoint artifact from an explicit path.
+pub fn read_checkpoint(path: impl AsRef<Path>) -> Result<HooiCheckpoint> {
+    HooiCheckpoint::decode(&fs::read(path.as_ref())?)
+}
+
+/// Writes a checkpoint artifact to an explicit path (atomic).
+pub fn write_checkpoint(path: impl AsRef<Path>, ck: &HooiCheckpoint) -> Result<()> {
+    Ok(atomic_write(path, &ck.encode())?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::StoreError;
+    use dtucker_core::{DTucker, DTuckerConfig};
+    use dtucker_tensor::random::low_rank_plus_noise;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("dtucker_store_tests").join(name);
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn store_round_trips_all_kinds() {
+        let dir = tmpdir("all_kinds");
+        let store = ArtifactStore::open(&dir).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = low_rank_plus_noise(&[12, 10, 4], &[2, 2, 2], 0.05, &mut rng).unwrap();
+        let cfg = DTuckerConfig::uniform(2, 3).with_seed(2);
+        let out = DTucker::new(cfg.clone()).decompose(&x).unwrap();
+
+        store.save_sliced("compressed", &out.sliced).unwrap();
+        store
+            .save_decomposition("decomp", &out.decomposition)
+            .unwrap();
+        let mut ck = None;
+        DTucker::new(cfg.clone())
+            .decompose_sliced_resumable(&out.sliced, None, &mut |snap| {
+                ck = Some(HooiCheckpoint::from_snapshot(&snap, &out.sliced, &cfg));
+                Ok(())
+            })
+            .unwrap();
+        store.save_checkpoint("ck", &ck.unwrap()).unwrap();
+
+        let st = store.load_sliced("compressed").unwrap();
+        assert_eq!(st.norm_x_sq().to_bits(), out.sliced.norm_x_sq().to_bits());
+        let d = store.load_decomposition("decomp").unwrap();
+        assert_eq!(d.ranks(), out.decomposition.ranks());
+        let ck = store.load_checkpoint("ck").unwrap();
+        assert!(ck.validate_against(&st, &cfg).is_ok());
+
+        assert_eq!(
+            store.list().unwrap(),
+            vec![
+                ("ck".to_string(), ArtifactKind::Checkpoint),
+                ("compressed".to_string(), ArtifactKind::Sliced),
+                ("decomp".to_string(), ArtifactKind::Tucker),
+            ]
+        );
+        assert_eq!(probe(store.path("decomp")).unwrap(), ArtifactKind::Tucker);
+        assert!(store.contains("ck"));
+        store.remove("ck").unwrap();
+        assert!(!store.contains("ck"));
+        store.remove("ck").unwrap(); // idempotent
+
+        // Kind confusion is a typed mismatch.
+        assert!(matches!(
+            store.load_decomposition("compressed"),
+            Err(StoreError::Mismatch(_))
+        ));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn list_skips_foreign_files() {
+        let dir = tmpdir("foreign");
+        let store = ArtifactStore::open(&dir).unwrap();
+        fs::write(dir.join("notes.txt"), b"hello").unwrap();
+        fs::write(dir.join("junk.dts"), b"not a container").unwrap();
+        assert!(store.list().unwrap().is_empty());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn path_helpers() {
+        let dir = tmpdir("paths");
+        let store = ArtifactStore::open(&dir).unwrap();
+        assert_eq!(store.dir(), dir.as_path());
+        assert_eq!(store.path("x"), dir.join("x.dts"));
+        assert!(store.load_sliced("absent").is_err());
+        fs::remove_dir_all(&dir).ok();
+    }
+}

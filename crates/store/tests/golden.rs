@@ -1,0 +1,100 @@
+//! Golden-artifact test: a `.dts` container committed to the repository
+//! must keep loading in every future version (or fail with a typed
+//! `UnsupportedVersion`, never silently misread). This pins the wire
+//! format — if an encoding change breaks this test, bump the format
+//! version instead of mutating v1.
+//!
+//! Regenerate (only when intentionally revving the fixture) with:
+//! `cargo test -p dtucker-store --test golden -- --ignored regenerate`
+
+use dtucker_core::{DTuckerConfig, InMemorySource, SlicedTensor, TuckerDecomp};
+use dtucker_linalg::Matrix;
+use dtucker_store::{read_decomposition, read_sliced, ArtifactKind};
+use dtucker_tensor::DenseTensor;
+use std::path::PathBuf;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+/// Deterministic, formula-generated inputs — no RNG, no SVD randomness in
+/// the fixture definition itself.
+fn golden_tensor() -> DenseTensor {
+    let shape = [6usize, 5, 4];
+    let n: usize = shape.iter().product();
+    let data: Vec<f64> = (0..n)
+        .map(|i| ((i % 17) as f64 - 8.0) * 0.25 + (i / 17) as f64 * 0.0625)
+        .collect();
+    DenseTensor::from_vec(&shape, data).unwrap()
+}
+
+fn golden_decomp() -> TuckerDecomp {
+    let ranks = [2usize, 2, 2];
+    let core =
+        DenseTensor::from_vec(&ranks, (0..8).map(|i| i as f64 * 0.5 - 1.75).collect()).unwrap();
+    let factors = vec![
+        Matrix::from_vec(6, 2, (0..12).map(|i| (i as f64 * 0.125).sin()).collect()).unwrap(),
+        Matrix::from_vec(5, 2, (0..10).map(|i| (i as f64 * 0.25).cos()).collect()).unwrap(),
+        Matrix::from_vec(4, 2, (0..8).map(|i| i as f64 * 0.1 - 0.35).collect()).unwrap(),
+    ];
+    TuckerDecomp { core, factors }
+}
+
+#[test]
+fn golden_tucker_artifact_loads() {
+    let d = read_decomposition(golden_dir().join("decomp_v1.dts")).unwrap();
+    assert_eq!(d.ranks(), &[2, 2, 2]);
+    assert_eq!(d.full_shape(), vec![6, 5, 4]);
+    // The committed bytes decode to the exact values the fixture was
+    // built from (the container stores raw IEEE-754 bits).
+    let expect = golden_decomp();
+    assert_eq!(d.core.as_slice(), expect.core.as_slice());
+    for (a, b) in d.factors.iter().zip(&expect.factors) {
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+}
+
+#[test]
+fn golden_sliced_artifact_loads() {
+    let st = read_sliced(golden_dir().join("sliced_v1.dts")).unwrap();
+    assert_eq!(st.shape(), &[6, 5, 4]);
+    assert_eq!(st.num_slices(), 4);
+    // ‖X‖² is stored verbatim; it must match the generating tensor to
+    // the last bit.
+    assert_eq!(
+        st.norm_x_sq().to_bits(),
+        golden_tensor().fro_norm_sq().to_bits()
+    );
+    // The compressed slices reconstruct the (exactly low-rank-ish)
+    // tensor to working precision.
+    let err = st.compression_error_sq(&golden_tensor()).unwrap();
+    assert!(err < 1e-20, "golden reconstruction error {err}");
+}
+
+#[test]
+fn golden_files_probe_as_expected_kinds() {
+    assert_eq!(
+        dtucker_store::probe(golden_dir().join("decomp_v1.dts")).unwrap(),
+        ArtifactKind::Tucker
+    );
+    assert_eq!(
+        dtucker_store::probe(golden_dir().join("sliced_v1.dts")).unwrap(),
+        ArtifactKind::Sliced
+    );
+}
+
+/// Writes the fixture files. Ignored: run manually only when revving the
+/// format, then commit the result.
+#[test]
+#[ignore]
+fn regenerate_golden_fixtures() {
+    let dir = golden_dir();
+    std::fs::create_dir_all(&dir).unwrap();
+    dtucker_store::write_decomposition(dir.join("decomp_v1.dts"), &golden_decomp()).unwrap();
+
+    let x = golden_tensor();
+    let cfg = DTuckerConfig::uniform(4, 3).with_seed(0);
+    let mut src = InMemorySource::new(&x).unwrap();
+    let st = SlicedTensor::compress_source(&mut src, &cfg).unwrap();
+    dtucker_store::write_sliced(dir.join("sliced_v1.dts"), &st).unwrap();
+}

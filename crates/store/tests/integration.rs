@@ -1,0 +1,189 @@
+//! End-to-end tests of the out-of-core + checkpoint/resume pipeline:
+//! decompositions computed from a `.dten` file through [`DtenSliceSource`]
+//! must be bit-for-bit identical to the in-memory path, and a run killed
+//! mid-iteration must resume to the exact factors of an uninterrupted run.
+
+use dtucker_core::{DTucker, DTuckerConfig, SliceSource, SlicedTensor};
+use dtucker_linalg::Matrix;
+use dtucker_store::{self as store, DtenSliceSource, HooiCheckpoint};
+use dtucker_tensor::random::low_rank_plus_noise;
+use dtucker_tensor::{io, DenseTensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("dtucker_store_integration")
+        .join(format!("{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn test_tensor(shape: &[usize], seed: u64) -> DenseTensor {
+    let ranks: Vec<usize> = shape.iter().map(|&d| d.min(3)).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    low_rank_plus_noise(shape, &ranks, 0.1, &mut rng).unwrap()
+}
+
+fn factor_bits(core: &DenseTensor, factors: &[Matrix]) -> Vec<u64> {
+    let mut bits: Vec<u64> = core.as_slice().iter().map(|v| v.to_bits()).collect();
+    for f in factors {
+        bits.extend(f.as_slice().iter().map(|v| v.to_bits()));
+    }
+    bits
+}
+
+/// Decomposing straight from disk — never materializing the dense tensor —
+/// matches the in-memory run bit for bit, at several chunk sizes.
+#[test]
+fn ondisk_decomposition_is_bit_identical_to_inmemory() {
+    let dir = tmpdir("ondisk");
+    let x = test_tensor(&[14, 11, 9], 42);
+    let dten = dir.join("x.dten");
+    io::save(&x, &dten).unwrap();
+
+    let base_cfg = DTuckerConfig::uniform(3, 3).with_seed(7);
+    let reference = DTucker::new(base_cfg.clone()).decompose(&x).unwrap();
+    let ref_bits = factor_bits(
+        &reference.decomposition.core,
+        &reference.decomposition.factors,
+    );
+
+    for chunk in [1, 2, 4, 100] {
+        let cfg = base_cfg.clone().with_chunk_slices(chunk);
+        let mut src = DtenSliceSource::open(&dten).unwrap();
+        let st = SlicedTensor::compress_source(&mut src, &cfg).unwrap();
+        let out = DTucker::new(cfg).decompose_sliced(&st).unwrap();
+        assert_eq!(
+            factor_bits(&out.decomposition.core, &out.decomposition.factors),
+            ref_bits,
+            "chunk={chunk} diverged from in-memory decomposition"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Full kill/resume cycle through the artifact store: checkpoints written
+/// by the sweep hook survive a simulated crash, and resuming from the
+/// loaded checkpoint reproduces the uninterrupted run exactly.
+#[test]
+fn killed_run_resumes_through_store_bit_identical() {
+    let dir = tmpdir("kill_resume");
+    let x = test_tensor(&[12, 10, 8], 3);
+
+    let mut cfg = DTuckerConfig::uniform(3, 3).with_seed(11);
+    cfg.tolerance = 0.0; // never converge: run the full sweep budget
+    cfg.max_iters = 5;
+    let solver = DTucker::new(cfg.clone());
+
+    let mut src = dtucker_core::InMemorySource::new(&x).unwrap();
+    let st = SlicedTensor::compress_source(&mut src, &cfg).unwrap();
+    store::write_sliced(dir.join("x.dts"), &st).unwrap();
+
+    // Reference: uninterrupted run.
+    let reference = solver.decompose_sliced(&st).unwrap();
+    assert_eq!(reference.trace.iterations(), 5);
+
+    // Crash at sweep 2, but only after the checkpoint hit disk.
+    let ck_path = dir.join("ck.dts");
+    let crashed = solver.decompose_sliced_resumable(&st, None, &mut |snap| {
+        let ck = HooiCheckpoint::from_snapshot(&snap, &st, &cfg);
+        store::write_checkpoint(&ck_path, &ck).map_err(|e| {
+            dtucker_core::CoreError::InvalidConfig {
+                details: e.to_string(),
+            }
+        })?;
+        if snap.sweep == 2 {
+            return Err(dtucker_core::CoreError::InvalidConfig {
+                details: "simulated kill".into(),
+            });
+        }
+        Ok(())
+    });
+    assert!(crashed.is_err());
+
+    // A fresh process: everything reloaded from disk.
+    let st2 = store::read_sliced(dir.join("x.dts")).unwrap();
+    let ck = store::read_checkpoint(&ck_path).unwrap();
+    assert_eq!(ck.sweep, 2);
+    ck.validate_against(&st2, &cfg).unwrap();
+    let resumed = solver
+        .decompose_sliced_resumable(&st2, Some(ck.into_state()), &mut |_| Ok(()))
+        .unwrap();
+
+    assert_eq!(resumed.trace.iterations(), reference.trace.iterations());
+    assert_eq!(
+        factor_bits(&resumed.decomposition.core, &resumed.decomposition.factors),
+        factor_bits(
+            &reference.decomposition.core,
+            &reference.decomposition.factors
+        ),
+        "resumed run diverged from uninterrupted run"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Resuming a checkpoint taken at the final sweep is a no-op: the factors
+/// come back untouched and no extra sweeps run.
+#[test]
+fn resuming_finished_run_is_noop() {
+    let dir = tmpdir("finished");
+    let x = test_tensor(&[10, 9, 6], 5);
+    let cfg = DTuckerConfig::uniform(2, 3).with_seed(1);
+    let solver = DTucker::new(cfg.clone());
+    let mut src = dtucker_core::InMemorySource::new(&x).unwrap();
+    let st = SlicedTensor::compress_source(&mut src, &cfg).unwrap();
+
+    let mut last = None;
+    let reference = solver
+        .decompose_sliced_resumable(&st, None, &mut |snap| {
+            last = Some(HooiCheckpoint::from_snapshot(&snap, &st, &cfg));
+            Ok(())
+        })
+        .unwrap();
+    let ck = last.expect("at least one sweep ran");
+
+    let mut extra_sweeps = 0usize;
+    let resumed = solver
+        .decompose_sliced_resumable(&st, Some(ck.into_state()), &mut |_| {
+            extra_sweeps += 1;
+            Ok(())
+        })
+        .unwrap();
+    assert_eq!(extra_sweeps, 0, "finished run must not iterate again");
+    assert_eq!(
+        factor_bits(&resumed.decomposition.core, &resumed.decomposition.factors),
+        factor_bits(
+            &reference.decomposition.core,
+            &reference.decomposition.factors
+        )
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The on-disk source reports the same norm and slices as the in-memory
+/// source for a tensor with awkward (non-divisible, tiny-mode) shape.
+#[test]
+fn dten_source_matches_inmemory_source() {
+    let dir = tmpdir("source_match");
+    let x = test_tensor(&[7, 5, 3, 2], 9);
+    let dten = dir.join("x.dten");
+    io::save(&x, &dten).unwrap();
+
+    let mut mem = dtucker_core::InMemorySource::new(&x).unwrap();
+    let mut disk = DtenSliceSource::open(&dten).unwrap();
+    assert_eq!(mem.shape(), disk.shape());
+    assert_eq!(mem.perm(), disk.perm());
+    assert_eq!(
+        mem.fro_norm_sq().unwrap().to_bits(),
+        disk.fro_norm_sq().unwrap().to_bits()
+    );
+    for l in 0..mem.num_slices() {
+        let a = mem.load_slice(l).unwrap();
+        let b = disk.load_slice(l).unwrap();
+        assert_eq!(a.as_slice(), b.as_slice(), "slice {l} differs");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,187 @@
+//! Property-based tests for the `.dts` artifact format and the on-disk
+//! slice source: round trips must be bit-exact at awkward shapes (dim-1
+//! modes, single-slice tensors, non-divisible chunk sizes), and any
+//! corruption — bit flips in header, body, or checksum, truncation, or
+//! plain garbage — must come back as a typed error, never a panic.
+
+use dtucker_core::{
+    ConvergenceTrace, DTuckerConfig, InMemorySource, SliceSource, SlicedTensor, TuckerDecomp,
+};
+use dtucker_linalg::Matrix;
+use dtucker_store::{
+    decode_sliced, decode_tucker, encode_sliced, encode_tucker, DtenSliceSource, HooiCheckpoint,
+    StoreError,
+};
+use dtucker_tensor::{io, DenseTensor};
+use proptest::prelude::*;
+
+/// Strategy: an order-2..4 tensor with dims in [1, 6] — deliberately
+/// includes degenerate modes and single-slice tensors.
+fn tensor_strategy() -> impl Strategy<Value = DenseTensor> {
+    proptest::collection::vec(1usize..=6, 2..=4).prop_flat_map(|shape| {
+        let n: usize = shape.iter().product();
+        proptest::collection::vec(-100.0f64..100.0, n)
+            .prop_map(move |data| DenseTensor::from_vec(&shape, data).unwrap())
+    })
+}
+
+/// Strategy: a structurally valid Tucker decomposition (random core +
+/// conformable factors; orthonormality is not required by the format).
+fn tucker_strategy() -> impl Strategy<Value = TuckerDecomp> {
+    proptest::collection::vec((1usize..=3, 0usize..=3), 2..=4).prop_flat_map(|modes| {
+        let ranks: Vec<usize> = modes.iter().map(|&(r, _)| r).collect();
+        let dims: Vec<usize> = modes.iter().map(|&(r, extra)| r + extra).collect();
+        let core_n: usize = ranks.iter().product();
+        let fact_n: usize = dims.iter().zip(&ranks).map(|(d, r)| d * r).sum();
+        proptest::collection::vec(-10.0f64..10.0, core_n + fact_n).prop_map(move |data| {
+            let core = DenseTensor::from_vec(&ranks, data[..core_n].to_vec()).unwrap();
+            let mut off = core_n;
+            let factors: Vec<Matrix> = dims
+                .iter()
+                .zip(&ranks)
+                .map(|(&d, &r)| {
+                    let m = Matrix::from_vec(d, r, data[off..off + d * r].to_vec()).unwrap();
+                    off += d * r;
+                    m
+                })
+                .collect();
+            TuckerDecomp { core, factors }
+        })
+    })
+}
+
+fn compress(x: &DenseTensor, chunk: usize, seed: u64) -> SlicedTensor {
+    let j = 2usize.min(*x.shape().iter().min().unwrap());
+    let cfg = DTuckerConfig::uniform(j, x.order())
+        .with_seed(seed)
+        .with_chunk_slices(chunk);
+    let mut src = InMemorySource::new(x).unwrap();
+    SlicedTensor::compress_source(&mut src, &cfg).unwrap()
+}
+
+/// Corrupted containers must surface as format-layer errors (never `Io`,
+/// which is reserved for the filesystem, and never a panic).
+fn assert_typed(e: StoreError) {
+    assert!(
+        !matches!(e, StoreError::Io(_)),
+        "corruption produced an I/O error: {e}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn sliced_artifact_round_trip(x in tensor_strategy(), chunk in 0usize..=7, seed in 0u64..4) {
+        let st = compress(&x, chunk, seed);
+        let bytes = encode_sliced(&st);
+        let back = decode_sliced(&bytes).unwrap();
+        prop_assert_eq!(back.shape(), st.shape());
+        prop_assert_eq!(back.perm(), st.perm());
+        prop_assert_eq!(back.norm_x_sq().to_bits(), st.norm_x_sq().to_bits());
+        // Bit-exactness of the whole payload: re-encoding reproduces the
+        // original byte stream.
+        prop_assert_eq!(encode_sliced(&back), bytes);
+    }
+
+    #[test]
+    fn chunking_does_not_change_the_artifact(x in tensor_strategy(), chunk in 1usize..=7) {
+        // Non-divisible chunk sizes partition the work differently but
+        // must never change the bytes that land on disk.
+        prop_assert_eq!(
+            encode_sliced(&compress(&x, chunk, 3)),
+            encode_sliced(&compress(&x, 0, 3))
+        );
+    }
+
+    #[test]
+    fn tucker_artifact_round_trip(d in tucker_strategy()) {
+        let bytes = encode_tucker(&d);
+        let back = decode_tucker(&bytes).unwrap();
+        prop_assert_eq!(back.ranks(), d.ranks());
+        prop_assert_eq!(back.full_shape(), d.full_shape());
+        prop_assert_eq!(encode_tucker(&back), bytes);
+    }
+
+    #[test]
+    fn checkpoint_artifact_round_trip(
+        d in tucker_strategy(),
+        sweep_extra in 0usize..3,
+        fits in proptest::collection::vec(0.0f64..1.0, 1..4),
+    ) {
+        let shape = d.full_shape();
+        let ck = HooiCheckpoint {
+            sweep: fits.len(),
+            shape: shape.clone(),
+            perm: (0..shape.len()).collect(),
+            ranks: d.ranks().to_vec(),
+            seed: 42,
+            tolerance: 1e-4,
+            max_iters: fits.len() + sweep_extra + 1,
+            factors: d.factors.clone(),
+            trace: ConvergenceTrace { sweep_fits: fits, converged: false },
+        };
+        let bytes = ck.encode();
+        let back = HooiCheckpoint::decode(&bytes).unwrap();
+        prop_assert_eq!(back.sweep, ck.sweep);
+        prop_assert_eq!(back.tolerance.to_bits(), ck.tolerance.to_bits());
+        prop_assert_eq!(back.encode(), bytes);
+    }
+
+    #[test]
+    fn bit_flip_anywhere_is_rejected(x in tensor_strategy(), pos_seed in 0usize..1 << 16) {
+        // CRC-32 detects every single-bit error; header flips are caught
+        // by the magic/version/kind checks first.
+        let st = compress(&x, 0, 1);
+        let mut bytes = encode_sliced(&st);
+        let bit = pos_seed % (bytes.len() * 8);
+        bytes[bit / 8] ^= 1 << (bit % 8);
+        match decode_sliced(&bytes) {
+            Ok(_) => prop_assert!(false, "corrupt artifact decoded successfully"),
+            Err(e) => assert_typed(e),
+        }
+    }
+
+    #[test]
+    fn truncation_is_rejected(d in tucker_strategy(), cut in 1usize..64) {
+        let bytes = encode_tucker(&d);
+        let cut = cut.min(bytes.len());
+        match decode_tucker(&bytes[..bytes.len() - cut]) {
+            Ok(_) => prop_assert!(false, "truncated artifact decoded successfully"),
+            Err(e) => assert_typed(e),
+        }
+    }
+
+    #[test]
+    fn garbage_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = decode_sliced(&bytes);
+        let _ = decode_tucker(&bytes);
+        let _ = HooiCheckpoint::decode(&bytes);
+    }
+
+    #[test]
+    fn dten_source_round_trip_awkward_shapes(x in tensor_strategy(), chunk in 1usize..=5) {
+        // Streaming slices off disk — including dim-1 modes and
+        // single-slice tensors — compresses to the same bytes as memory.
+        let dir = std::env::temp_dir()
+            .join(format!("dtucker_store_prop_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("x.dten");
+        io::save(&x, &path).unwrap();
+
+        let j = 2usize.min(*x.shape().iter().min().unwrap());
+        let cfg = DTuckerConfig::uniform(j, x.order())
+            .with_seed(5)
+            .with_chunk_slices(chunk);
+        let mut disk = DtenSliceSource::open(&path).unwrap();
+        let mut mem = InMemorySource::new(&x).unwrap();
+        prop_assert_eq!(
+            disk.fro_norm_sq().unwrap().to_bits(),
+            mem.fro_norm_sq().unwrap().to_bits()
+        );
+        let from_disk = SlicedTensor::compress_source(&mut disk, &cfg).unwrap();
+        let from_mem = SlicedTensor::compress_source(&mut mem, &cfg).unwrap();
+        prop_assert_eq!(encode_sliced(&from_disk), encode_sliced(&from_mem));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -14,11 +14,18 @@ use crate::dense::{num_elements, DenseTensor};
 use crate::error::{Result, TensorError};
 use bytes::{Buf, BufMut};
 use std::fs::File;
-use std::io::{BufReader, BufWriter, Read, Write};
-use std::path::Path;
+use std::io::{BufReader, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 const MAGIC: &[u8; 4] = b"DTEN";
 const VERSION: u32 = 1;
+
+/// Byte length of a `.dten` header for an order-`n` tensor (magic +
+/// version + order + dims). The f64 payload starts at this offset.
+pub fn header_len(order: usize) -> u64 {
+    12 + order as u64 * 8
+}
 
 /// Serializes a tensor into a byte vector.
 pub fn to_bytes(t: &DenseTensor) -> Vec<u8> {
@@ -81,12 +88,87 @@ pub fn from_bytes(mut buf: &[u8]) -> Result<DenseTensor> {
     DenseTensor::from_vec(&shape, data)
 }
 
-/// Writes a tensor to a file.
+/// Reads and validates a `.dten` header from a reader positioned at the
+/// start of the file, returning the shape. After this call the reader is
+/// positioned at the f64 payload (offset [`header_len`]). Out-of-core
+/// readers use this to learn the shape without loading the data.
+pub fn read_header(r: &mut impl Read) -> Result<Vec<usize>> {
+    let mut head = [0u8; 12];
+    read_exact_or(r, &mut head, "header")?;
+    let mut buf = &head[..];
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(TensorError::Format(format!("bad magic {magic:?}")));
+    }
+    let version = buf.get_u32_le();
+    if version != VERSION {
+        return Err(TensorError::Format(format!(
+            "unsupported version {version}"
+        )));
+    }
+    let order = buf.get_u32_le() as usize;
+    if order == 0 || order > 16 {
+        return Err(TensorError::Format(format!("implausible order {order}")));
+    }
+    let mut dims = vec![0u8; order * 8];
+    read_exact_or(r, &mut dims, "dims")?;
+    let mut buf = &dims[..];
+    let mut shape = Vec::with_capacity(order);
+    for _ in 0..order {
+        let d = buf.get_u64_le() as usize;
+        if d == 0 {
+            return Err(TensorError::Format("zero dimension".into()));
+        }
+        shape.push(d);
+    }
+    Ok(shape)
+}
+
+fn read_exact_or(r: &mut impl Read, buf: &mut [u8], what: &str) -> Result<()> {
+    r.read_exact(buf).map_err(|e| match e.kind() {
+        std::io::ErrorKind::UnexpectedEof => TensorError::Format(format!("truncated {what}")),
+        _ => TensorError::Io(e.to_string()),
+    })
+}
+
+/// Writes `bytes` to `path` **atomically**: the data goes to a freshly
+/// named temporary file in the same directory, is flushed and fsynced,
+/// then renamed over the destination. A crash mid-write leaves either the
+/// old file or nothing — never a torn artifact. All dtucker file writers
+/// (`.dten` tensors and the `dtucker-store` artifact formats) go through
+/// this helper.
+pub fn atomic_write(path: impl AsRef<Path>, bytes: &[u8]) -> std::io::Result<()> {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let path = path.as_ref();
+    let dir: PathBuf = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => PathBuf::from("."),
+    };
+    let name = path
+        .file_name()
+        .ok_or_else(|| std::io::Error::other(format!("no file name in {}", path.display())))?;
+    let tmp = dir.join(format!(
+        ".{}.tmp.{}.{}",
+        name.to_string_lossy(),
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed),
+    ));
+    let write = (|| {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if write.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    write
+}
+
+/// Writes a tensor to a file (atomically — see [`atomic_write`]).
 pub fn save(t: &DenseTensor, path: impl AsRef<Path>) -> Result<()> {
-    let mut w = BufWriter::new(File::create(path)?);
-    w.write_all(&to_bytes(t))?;
-    w.flush()?;
-    Ok(())
+    Ok(atomic_write(path, &to_bytes(t))?)
 }
 
 /// Reads a tensor from a file.
@@ -171,5 +253,46 @@ mod tests {
     fn load_missing_file_is_io_error() {
         let err = load("/nonexistent/place/t.dten").unwrap_err();
         assert!(matches!(err, TensorError::Io(_)));
+    }
+
+    #[test]
+    fn read_header_streams_shape() {
+        let t = example();
+        let bytes = to_bytes(&t);
+        let mut r = &bytes[..];
+        let shape = read_header(&mut r).unwrap();
+        assert_eq!(shape, vec![3, 4, 2]);
+        // Reader is now positioned at the payload.
+        assert_eq!(r.len() as u64, bytes.len() as u64 - header_len(3));
+        let mut first = [0u8; 8];
+        r.read_exact(&mut first).unwrap();
+        assert_eq!(f64::from_le_bytes(first), t.as_slice()[0]);
+        // Truncated header is a Format error, not a panic.
+        let mut short = &bytes[..6];
+        assert!(matches!(
+            read_header(&mut short),
+            Err(TensorError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_cleans_up() {
+        let dir = std::env::temp_dir().join("dtucker_atomic_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("artifact.bin");
+        atomic_write(&path, b"first").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        atomic_write(&path, b"second").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second");
+        // No temp files are left behind.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        std::fs::remove_dir_all(&dir).ok();
+        // A destination without a file name errors instead of panicking.
+        assert!(atomic_write("/", b"x").is_err());
     }
 }

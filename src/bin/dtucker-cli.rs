@@ -1,15 +1,27 @@
 //! Command-line front door for the dtucker workspace.
 //!
 //! ```text
-//! dtucker-cli generate  --dataset boats --scale ci --seed 0 --out x.dten
-//! dtucker-cli info      --input x.dten
-//! dtucker-cli decompose --input x.dten --rank 5 [--method dtucker|hooi|hosvd|st-hosvd|mach|rtd]
-//!                       [--seed S] [--save-core core.dten]
+//! dtucker-cli generate    --dataset boats --scale ci --seed 0 --out x.dten
+//! dtucker-cli info        --input x.dten
+//! dtucker-cli compress    --input x.dten --rank J [--chunk C] [--seed S] --out art.dts
+//! dtucker-cli decompose   --input x.dten | --sliced art.dts  --rank J
+//!                         [--method dtucker|hooi|hosvd|st-hosvd|mach|rtd] [--seed S]
+//!                         [--save-core core.dten] [--save-decomp d.dts]
+//!                         [--checkpoint ck.dts [--checkpoint-every N]]
+//! dtucker-cli resume      --sliced art.dts --checkpoint ck.dts [--save-decomp d.dts]
+//! dtucker-cli reconstruct --decomp d.dts | --sliced art.dts  --out xhat.dten
 //! ```
+//!
+//! `compress` never materializes the input tensor: slices stream from the
+//! `.dten` file in bounded chunks, and the result is bit-identical to the
+//! in-memory path. `decompose --checkpoint` makes long runs kill-safe;
+//! `resume` continues them to the same factors the uninterrupted run
+//! would have produced.
 
-use dtucker::{DTucker, DTuckerConfig};
+use dtucker::{DTucker, DTuckerConfig, DTuckerOutput, SliceSource, SlicedTensor};
 use dtucker_baselines::{hooi, hosvd, mach, rtd, st_hosvd, HooiConfig, MachConfig, RtdConfig};
 use dtucker_data::{generate, parse_scale, Dataset};
+use dtucker_store::{self as store, DtenSliceSource, HooiCheckpoint};
 use dtucker_tensor::io;
 use std::process::ExitCode;
 use std::time::Instant;
@@ -27,10 +39,19 @@ fn fail(msg: &str) -> ExitCode {
     eprintln!();
     eprintln!("usage:");
     eprintln!(
-        "  dtucker-cli generate  --dataset <name> [--scale ci|bench|paper] [--seed S] --out <file>"
+        "  dtucker-cli generate    --dataset <name> [--scale ci|bench|paper] [--seed S] --out <file>"
     );
     eprintln!("  dtucker-cli info      --input <file>");
-    eprintln!("  dtucker-cli decompose --input <file> --rank J [--method NAME] [--seed S] [--save-core <file>]");
+    eprintln!(
+        "  dtucker-cli compress    --input <x.dten> --rank J [--chunk C] [--seed S] --out <art.dts>"
+    );
+    eprintln!("  dtucker-cli decompose --input <x.dten> | --sliced <art.dts>  --rank J");
+    eprintln!("                        [--method NAME] [--seed S] [--save-core <file>]");
+    eprintln!("                        [--save-decomp <d.dts>] [--checkpoint <ck.dts> [--checkpoint-every N]]");
+    eprintln!(
+        "  dtucker-cli resume    --sliced <art.dts> --checkpoint <ck.dts> [--save-decomp <d.dts>]"
+    );
+    eprintln!("  dtucker-cli reconstruct --decomp <d.dts> | --sliced <art.dts>  --out <xhat.dten>");
     ExitCode::from(2)
 }
 
@@ -39,9 +60,45 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("generate") => cmd_generate(&args),
         Some("info") => cmd_info(&args),
+        Some("compress") => cmd_compress(&args),
         Some("decompose") => cmd_decompose(&args),
+        Some("resume") => cmd_resume(&args),
+        Some("reconstruct") => cmd_reconstruct(&args),
         _ => fail("missing or unknown subcommand"),
     }
+}
+
+/// Runs the checkpointable D-Tucker path, writing a checkpoint artifact
+/// every `every` sweeps (and at the final sweep) when a path is given.
+fn run_resumable(
+    sliced: &SlicedTensor,
+    cfg: &DTuckerConfig,
+    resume: Option<dtucker::SweepState>,
+    ckpt: Option<&str>,
+    every: usize,
+) -> Result<DTuckerOutput, String> {
+    let solver = DTucker::new(cfg.clone());
+    let mut written = 0usize;
+    let out = solver
+        .decompose_sliced_resumable(sliced, resume, &mut |snap| {
+            if let Some(path) = ckpt {
+                if snap.sweep % every.max(1) == 0 || snap.done {
+                    let ck = HooiCheckpoint::from_snapshot(&snap, sliced, cfg);
+                    store::write_checkpoint(path, &ck).map_err(|e| {
+                        dtucker::core::CoreError::InvalidConfig {
+                            details: format!("checkpoint write failed: {e}"),
+                        }
+                    })?;
+                    written += 1;
+                }
+            }
+            Ok(())
+        })
+        .map_err(|e| e.to_string())?;
+    if let Some(path) = ckpt {
+        println!("checkpoint  {written} snapshot(s) written to {path}");
+    }
+    Ok(out)
 }
 
 fn cmd_generate(args: &[String]) -> ExitCode {
@@ -98,68 +155,188 @@ fn cmd_info(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn cmd_decompose(args: &[String]) -> ExitCode {
+fn cmd_compress(args: &[String]) -> ExitCode {
     let Some(input) = opt(args, "input") else {
         return fail("--input is required");
     };
     let Some(rank) = opt(args, "rank").and_then(|v| v.parse::<usize>().ok()) else {
         return fail("--rank J is required");
     };
-    let method = opt(args, "method").unwrap_or_else(|| "dtucker".into());
+    let Some(out) = opt(args, "out") else {
+        return fail("--out is required");
+    };
+    let chunk: usize = opt(args, "chunk").and_then(|v| v.parse().ok()).unwrap_or(0);
     let seed: u64 = opt(args, "seed").and_then(|v| v.parse().ok()).unwrap_or(0);
 
-    let x = match io::load(&input) {
-        Ok(x) => x,
+    let mut src = match DtenSliceSource::open(&input) {
+        Ok(s) => s,
         Err(e) => return fail(&e.to_string()),
     };
-    let n = x.order();
-    let j = rank.min(*x.shape().iter().min().expect("non-empty shape"));
+    let n = src.shape().len();
+    let j = rank.min(*src.shape().iter().min().expect("non-empty shape"));
     if j < rank {
         eprintln!("note: rank clamped to {j} (smallest mode)");
     }
-    let ranks = vec![j; n];
+    let cfg = DTuckerConfig::uniform(j, n)
+        .with_seed(seed)
+        .with_chunk_slices(chunk);
 
     let t0 = Instant::now();
-    let result = match method.as_str() {
-        "dtucker" => DTucker::new(DTuckerConfig::uniform(j, n).with_seed(seed))
-            .decompose(&x)
-            .map(|o| o.decomposition),
-        "hooi" => {
-            let mut c = HooiConfig::new(&ranks);
-            c.seed = seed;
-            hooi(&x, &c).map(|o| o.decomposition)
-        }
-        "hosvd" => hosvd(&x, &ranks).map(|o| o.decomposition),
-        "st-hosvd" => st_hosvd(&x, &ranks).map(|o| o.decomposition),
-        "mach" => {
-            let mut c = MachConfig::new(&ranks);
-            c.seed = seed;
-            mach(&x, &c).map(|o| o.decomposition)
-        }
-        "rtd" => {
-            let mut c = RtdConfig::new(&ranks);
-            c.seed = seed;
-            rtd(&x, &c).map(|o| o.decomposition)
-        }
-        other => return fail(&format!("unknown method '{other}'")),
-    };
-    let d = match result {
-        Ok(d) => d,
+    let st = match SlicedTensor::compress_source(&mut src, &cfg) {
+        Ok(st) => st,
         Err(e) => return fail(&e.to_string()),
+    };
+    if let Err(e) = store::write_sliced(&out, &st) {
+        return fail(&e.to_string());
+    }
+    println!("input       {input} {:?}", src.original_shape());
+    println!(
+        "slices      {} of rank {} (chunked {} at a time)",
+        st.num_slices(),
+        st.slice_rank(),
+        cfg.effective_chunk_slices(st.num_slices())
+    );
+    println!("time        {:.3}s", t0.elapsed().as_secs_f64());
+    println!(
+        "compressed  {:.2} MB ({:.1}x smaller than dense), written to {out}",
+        st.memory_bytes() as f64 / 1e6,
+        st.compression_ratio()
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_decompose(args: &[String]) -> ExitCode {
+    let input = opt(args, "input");
+    let sliced_path = opt(args, "sliced");
+    if input.is_some() == sliced_path.is_some() {
+        return fail("exactly one of --input / --sliced is required");
+    }
+    let Some(rank) = opt(args, "rank").and_then(|v| v.parse::<usize>().ok()) else {
+        return fail("--rank J is required");
+    };
+    let method = opt(args, "method").unwrap_or_else(|| "dtucker".into());
+    let seed: u64 = opt(args, "seed").and_then(|v| v.parse().ok()).unwrap_or(0);
+    let ckpt = opt(args, "checkpoint");
+    let every: usize = opt(args, "checkpoint-every")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    if ckpt.is_some() && method != "dtucker" {
+        return fail("--checkpoint is only supported for --method dtucker");
+    }
+
+    // Dense tensor (when given a `.dten`) and compressed representation
+    // (always, for the dtucker path).
+    let x = match &input {
+        Some(path) => match io::load(path) {
+            Ok(x) => Some(x),
+            Err(e) => return fail(&e.to_string()),
+        },
+        None => None,
+    };
+
+    let t0 = Instant::now();
+    let d = if method == "dtucker" {
+        let st = match (&x, &sliced_path) {
+            (Some(x), _) => {
+                let n = x.order();
+                let j = rank.min(*x.shape().iter().min().expect("non-empty shape"));
+                if j < rank {
+                    eprintln!("note: rank clamped to {j} (smallest mode)");
+                }
+                let cfg = DTuckerConfig::uniform(j, n).with_seed(seed);
+                let mut src = match dtucker::InMemorySource::new(x) {
+                    Ok(s) => s,
+                    Err(e) => return fail(&e.to_string()),
+                };
+                match SlicedTensor::compress_source(&mut src, &cfg) {
+                    Ok(st) => st,
+                    Err(e) => return fail(&e.to_string()),
+                }
+            }
+            (None, Some(path)) => match store::read_sliced(path) {
+                Ok(st) => st,
+                Err(e) => return fail(&e.to_string()),
+            },
+            (None, None) => unreachable!("validated above"),
+        };
+        let n = st.shape().len();
+        let j = rank
+            .min(*st.shape().iter().min().expect("non-empty shape"))
+            .min(st.slice_rank());
+        if j < rank && x.is_none() {
+            eprintln!("note: rank clamped to {j} (smallest mode / slice rank)");
+        }
+        let cfg = DTuckerConfig::uniform(j, n).with_seed(seed);
+        let out = match run_resumable(&st, &cfg, None, ckpt.as_deref(), every) {
+            Ok(o) => o,
+            Err(e) => return fail(&e),
+        };
+        println!(
+            "iterations  {} (converged: {})",
+            out.trace.iterations(),
+            out.trace.converged
+        );
+        out.decomposition
+    } else {
+        let Some(x) = &x else {
+            return fail("baseline methods need a dense --input (not --sliced)");
+        };
+        let n = x.order();
+        let j = rank.min(*x.shape().iter().min().expect("non-empty shape"));
+        if j < rank {
+            eprintln!("note: rank clamped to {j} (smallest mode)");
+        }
+        let ranks = vec![j; n];
+        let result = match method.as_str() {
+            "hooi" => {
+                let mut c = HooiConfig::new(&ranks);
+                c.seed = seed;
+                hooi(x, &c).map(|o| o.decomposition)
+            }
+            "hosvd" => hosvd(x, &ranks).map(|o| o.decomposition),
+            "st-hosvd" => st_hosvd(x, &ranks).map(|o| o.decomposition),
+            "mach" => {
+                let mut c = MachConfig::new(&ranks);
+                c.seed = seed;
+                mach(x, &c).map(|o| o.decomposition)
+            }
+            "rtd" => {
+                let mut c = RtdConfig::new(&ranks);
+                c.seed = seed;
+                rtd(x, &c).map(|o| o.decomposition)
+            }
+            other => return fail(&format!("unknown method '{other}'")),
+        };
+        match result {
+            Ok(d) => d,
+            Err(e) => return fail(&e.to_string()),
+        }
     };
     let elapsed = t0.elapsed();
-    let err = match d.relative_error_sq(&x) {
-        Ok(e) => e,
-        Err(e) => return fail(&e.to_string()),
-    };
+
     println!("method      {method}");
     println!("ranks       {:?}", d.ranks());
     println!("time        {:.3}s", elapsed.as_secs_f64());
-    println!("rel. error  {err:.6}");
+    match &x {
+        Some(x) => match d.relative_error_sq(x) {
+            Ok(e) => println!("rel. error  {e:.6}"),
+            Err(e) => return fail(&e.to_string()),
+        },
+        None => {
+            // No dense tensor in memory: report the projection error
+            // implied by ‖X‖² and the core energy.
+            let st = store::read_sliced(sliced_path.as_ref().expect("sliced path"));
+            match st {
+                Ok(st) => println!("proj. error {:.6}", d.projection_error_sq(st.norm_x_sq())),
+                Err(e) => return fail(&e.to_string()),
+            }
+        }
+    }
+    let dense_bytes: usize = d.full_shape().iter().product::<usize>() * 8;
     println!(
-        "model size  {:.2} MB ({:.1}x smaller than input)",
+        "model size  {:.2} MB ({:.1}x smaller than dense)",
         d.memory_bytes() as f64 / 1e6,
-        (x.numel() * 8) as f64 / d.memory_bytes() as f64
+        dense_bytes as f64 / d.memory_bytes().max(1) as f64
     );
     if let Some(path) = opt(args, "save-core") {
         if let Err(e) = io::save(&d.core, &path) {
@@ -167,5 +344,102 @@ fn cmd_decompose(args: &[String]) -> ExitCode {
         }
         println!("core        written to {path}");
     }
+    if let Some(path) = opt(args, "save-decomp") {
+        if let Err(e) = store::write_decomposition(&path, &d) {
+            return fail(&e.to_string());
+        }
+        println!("decomp      written to {path}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_resume(args: &[String]) -> ExitCode {
+    let Some(sliced_path) = opt(args, "sliced") else {
+        return fail("--sliced is required");
+    };
+    let Some(ckpt_path) = opt(args, "checkpoint") else {
+        return fail("--checkpoint is required");
+    };
+    let every: usize = opt(args, "checkpoint-every")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+
+    let st = match store::read_sliced(&sliced_path) {
+        Ok(st) => st,
+        Err(e) => return fail(&e.to_string()),
+    };
+    let ck = match store::read_checkpoint(&ckpt_path) {
+        Ok(ck) => ck,
+        Err(e) => return fail(&e.to_string()),
+    };
+    // The checkpoint carries the full run identity; rebuild the exact
+    // configuration instead of asking the user to repeat it.
+    let mut cfg = DTuckerConfig::new(&ck.ranks).with_seed(ck.seed);
+    cfg.tolerance = ck.tolerance;
+    cfg.max_iters = ck.max_iters;
+    if let Err(e) = ck.validate_against(&st, &cfg) {
+        return fail(&e.to_string());
+    }
+    let start_sweep = ck.sweep;
+    println!(
+        "resuming    sweep {start_sweep} of {} ({ckpt_path})",
+        cfg.max_iters
+    );
+
+    let t0 = Instant::now();
+    let out = match run_resumable(&st, &cfg, Some(ck.into_state()), Some(&ckpt_path), every) {
+        Ok(o) => o,
+        Err(e) => return fail(&e),
+    };
+    let d = out.decomposition;
+    println!(
+        "iterations  {} (converged: {})",
+        out.trace.iterations(),
+        out.trace.converged
+    );
+    println!("ranks       {:?}", d.ranks());
+    println!("time        {:.3}s", t0.elapsed().as_secs_f64());
+    println!("proj. error {:.6}", d.projection_error_sq(st.norm_x_sq()));
+    if let Some(path) = opt(args, "save-decomp") {
+        if let Err(e) = store::write_decomposition(&path, &d) {
+            return fail(&e.to_string());
+        }
+        println!("decomp      written to {path}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_reconstruct(args: &[String]) -> ExitCode {
+    let Some(out) = opt(args, "out") else {
+        return fail("--out is required");
+    };
+    let decomp = opt(args, "decomp");
+    let sliced = opt(args, "sliced");
+    if decomp.is_some() == sliced.is_some() {
+        return fail("exactly one of --decomp / --sliced is required");
+    }
+
+    let t0 = Instant::now();
+    let x = if let Some(path) = decomp {
+        match store::read_decomposition(&path).and_then(|d| Ok(d.reconstruct()?)) {
+            Ok(x) => x,
+            Err(e) => return fail(&e.to_string()),
+        }
+    } else {
+        let path = sliced.expect("validated above");
+        match store::read_sliced(&path).and_then(|st| Ok(st.reconstruct()?)) {
+            Ok(x) => x,
+            Err(e) => return fail(&e.to_string()),
+        }
+    };
+    if let Err(e) = io::save(&x, &out) {
+        return fail(&e.to_string());
+    }
+    println!(
+        "wrote {out}: {:?}, {:.1} MB, reconstructed in {:.2}s",
+        x.shape(),
+        x.numel() as f64 * 8.0 / 1e6,
+        t0.elapsed().as_secs_f64()
+    );
     ExitCode::SUCCESS
 }

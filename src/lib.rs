@@ -25,12 +25,16 @@ pub use dtucker_data as data;
 pub use dtucker_linalg as linalg;
 /// Sketching substrate (FFT, CountSketch, TensorSketch).
 pub use dtucker_sketch as sketch;
+/// Out-of-core slice sourcing and persistent artifacts (checkpoint/resume).
+pub use dtucker_store as store;
 /// Dense/sparse tensors, matricization, n-mode products.
 pub use dtucker_tensor as tensor;
 
 pub use dtucker_core::{
     decompose_to_target_error, ConvergenceTrace, DTucker, DTuckerConfig, DTuckerOutput,
-    DTuckerStream, InitStrategy, SliceSvdKind, SlicedTensor, TuckerDecomp,
+    DTuckerStream, InMemorySource, InitStrategy, SliceSource, SliceSvdKind, SlicedTensor,
+    SweepState, SyntheticSource, TuckerDecomp,
 };
 pub use dtucker_linalg::Matrix;
+pub use dtucker_store::{ArtifactStore, DtenSliceSource, HooiCheckpoint};
 pub use dtucker_tensor::DenseTensor;
