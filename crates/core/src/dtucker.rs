@@ -33,6 +33,17 @@ impl PhaseTimings {
     pub fn total(&self) -> Duration {
         self.approximation + self.initialization + self.iteration
     }
+
+    /// The timings as a generic [`crate::profile::PhaseProfile`], so the
+    /// pipeline's phase split renders through the same reporting path as
+    /// every other subsystem.
+    pub fn as_profile(&self) -> crate::profile::PhaseProfile {
+        let mut p = crate::profile::PhaseProfile::new();
+        p.record("approximation", self.approximation);
+        p.record("initialization", self.initialization);
+        p.record("iteration", self.iteration);
+        p
+    }
 }
 
 /// How the iteration phase is seeded (ablation hook for the convergence

@@ -54,7 +54,7 @@ pub use config::{DTuckerConfig, SliceSvdKind};
 pub use dtucker::{decompose_to_target_error, DTucker, DTuckerOutput, InitStrategy, PhaseTimings};
 pub use error::{CoreError, Result};
 pub use iterate::{SweepHook, SweepSnapshot, SweepState};
-pub use profile::{anomalous_indices, error_profile_last_mode};
+pub use profile::{anomalous_indices, error_profile_last_mode, PhaseProfile};
 pub use slices::{SliceSvd, SlicedTensor};
 pub use source::{InMemorySource, SliceSource, SyntheticSource};
 pub use streaming::DTuckerStream;

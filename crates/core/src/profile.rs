@@ -1,14 +1,117 @@
-//! Reconstruction-error profiling: per-index residuals along a mode.
+//! Profiling: per-index reconstruction residuals along a mode, and the
+//! shared per-phase wall-clock accumulator.
 //!
 //! The discovery workflows of the paper's lineage (anomalous ranges, trend
 //! changes) all reduce to "which indices of a mode does the low-rank model
 //! explain badly?" — this module computes those profiles without
 //! materializing more than one hyperslab at a time beyond the full
 //! reconstruction.
+//!
+//! [`PhaseProfile`] is the one phase-timing mechanism of the workspace:
+//! the decomposition pipeline reports its approximation/initialization/
+//! iteration split through it (see `PhaseTimings::as_profile`), and the
+//! query engine reports its plan/contract/cache split through the same
+//! type, so tooling renders both identically.
 
 use crate::error::{CoreError, Result};
 use crate::tucker::TuckerDecomp;
 use dtucker_tensor::dense::DenseTensor;
+use std::time::Duration;
+
+/// Accumulating per-phase wall-clock profile: an ordered list of named
+/// phases, each with a total duration and an invocation count.
+///
+/// Phases appear in first-recorded order; recording an existing name
+/// accumulates into it. The type is intentionally generic — decomposition
+/// phases, query-engine phases, and any future subsystem all share it
+/// instead of inventing parallel timing structs.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseProfile {
+    phases: Vec<(String, Duration, u64)>,
+}
+
+impl PhaseProfile {
+    /// An empty profile.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `elapsed` to phase `name` (creating it at the end of the
+    /// ordering on first use) and bumps its invocation count.
+    pub fn record(&mut self, name: &str, elapsed: Duration) {
+        if let Some(p) = self.phases.iter_mut().find(|(n, _, _)| n == name) {
+            p.1 += elapsed;
+            p.2 += 1;
+        } else {
+            self.phases.push((name.to_string(), elapsed, 1));
+        }
+    }
+
+    /// Total time recorded for `name`, if the phase exists.
+    pub fn get(&self, name: &str) -> Option<Duration> {
+        self.phases
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .map(|&(_, d, _)| d)
+    }
+
+    /// Invocation count for `name` (0 if the phase was never recorded).
+    pub fn count(&self, name: &str) -> u64 {
+        self.phases
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .map_or(0, |&(_, _, c)| c)
+    }
+
+    /// The phases as `(name, total, count)` in first-recorded order.
+    pub fn phases(&self) -> impl Iterator<Item = (&str, Duration, u64)> {
+        self.phases.iter().map(|(n, d, c)| (n.as_str(), *d, *c))
+    }
+
+    /// Sum over all phases.
+    pub fn total(&self) -> Duration {
+        self.phases.iter().map(|&(_, d, _)| d).sum()
+    }
+
+    /// Folds another profile into this one (phase-wise accumulation).
+    pub fn merge(&mut self, other: &PhaseProfile) {
+        for (name, d, c) in &other.phases {
+            if let Some(p) = self.phases.iter_mut().find(|(n, _, _)| n == name) {
+                p.1 += *d;
+                p.2 += *c;
+            } else {
+                self.phases.push((name.clone(), *d, *c));
+            }
+        }
+    }
+
+    /// Human-readable report: one aligned line per phase with its share of
+    /// the total.
+    pub fn report(&self) -> String {
+        let total = self.total().as_secs_f64();
+        let width = self
+            .phases
+            .iter()
+            .map(|(n, _, _)| n.len())
+            .max()
+            .unwrap_or(0);
+        let mut out = String::new();
+        for (name, d, count) in self.phases() {
+            let secs = d.as_secs_f64();
+            let share = if total > 0.0 {
+                100.0 * secs / total
+            } else {
+                0.0
+            };
+            out.push_str(&format!(
+                "{name:<width$}  {secs:>9.6}s  {share:>5.1}%  ({count} call{})\n",
+                if count == 1 { "" } else { "s" },
+            ));
+        }
+        out.push_str(&format!("{:<width$}  {total:>9.6}s", "total"));
+        out
+    }
+}
 
 /// Relative squared residual of every index along the **last** mode:
 /// `profile[t] = ‖X[..,t] − X̂[..,t]‖² / ‖X[..,t]‖²`
@@ -116,6 +219,44 @@ mod tests {
             flagged.len() <= 3,
             "only the corrupted step should stand out: {flagged:?}"
         );
+    }
+
+    #[test]
+    fn phase_profile_accumulates_and_reports() {
+        let mut p = PhaseProfile::new();
+        p.record("plan", Duration::from_millis(2));
+        p.record("contract", Duration::from_millis(10));
+        p.record("plan", Duration::from_millis(3));
+        assert_eq!(p.get("plan"), Some(Duration::from_millis(5)));
+        assert_eq!(p.count("plan"), 2);
+        assert_eq!(p.count("cache"), 0);
+        assert_eq!(p.total(), Duration::from_millis(15));
+        // First-recorded order is preserved.
+        let names: Vec<&str> = p.phases().map(|(n, _, _)| n).collect();
+        assert_eq!(names, vec!["plan", "contract"]);
+
+        let mut q = PhaseProfile::new();
+        q.record("contract", Duration::from_millis(1));
+        q.record("cache", Duration::from_millis(4));
+        p.merge(&q);
+        assert_eq!(p.get("contract"), Some(Duration::from_millis(11)));
+        assert_eq!(p.get("cache"), Some(Duration::from_millis(4)));
+        let report = p.report();
+        assert!(report.contains("plan"), "{report}");
+        assert!(report.contains("total"), "{report}");
+        assert!(PhaseProfile::new().report().contains("total"));
+    }
+
+    #[test]
+    fn phase_timings_bridge_to_profile() {
+        let t = crate::dtucker::PhaseTimings {
+            approximation: Duration::from_millis(7),
+            initialization: Duration::from_millis(2),
+            iteration: Duration::from_millis(11),
+        };
+        let p = t.as_profile();
+        assert_eq!(p.total(), t.total());
+        assert_eq!(p.get("iteration"), Some(Duration::from_millis(11)));
     }
 
     #[test]

@@ -43,6 +43,28 @@ impl TuckerDecomp {
         Ok(())
     }
 
+    /// Number of modes.
+    pub fn order(&self) -> usize {
+        self.core.order()
+    }
+
+    /// The core tensor `G`.
+    pub fn core(&self) -> &DenseTensor {
+        &self.core
+    }
+
+    /// Checked access to factor `A⁽ⁿ⁾`.
+    pub fn factor(&self, mode: usize) -> Result<&Matrix> {
+        self.factors
+            .get(mode)
+            .ok_or_else(|| CoreError::InvalidConfig {
+                details: format!(
+                    "mode {mode} out of range for an order-{} decomposition",
+                    self.factors.len()
+                ),
+            })
+    }
+
     /// Shape of the tensor this decomposition approximates.
     pub fn full_shape(&self) -> Vec<usize> {
         self.factors.iter().map(Matrix::rows).collect()

@@ -1,0 +1,226 @@
+//! Byte-budgeted LRU cache of partial contractions.
+//!
+//! The engine's intermediates — `G ×_{n₁} A⁽ⁿ¹⁾[rows] ×_{n₂} …` — are
+//! exactly what consecutive queries over hot index ranges share, so the
+//! cache stores every prefix of every executed plan under its ordered
+//! `(mode, lo, hi)` chain (see `QueryPlan::prefix_key`). Eviction is
+//! least-recently-used under a configurable byte budget; hit/miss/
+//! insertion/eviction counters feed the benchmarks and `--profile`.
+
+use dtucker_tensor::DenseTensor;
+use std::collections::HashMap;
+
+/// Ordered chain of `(mode, lo, hi)` contraction steps identifying a
+/// partial contraction. Order matters: TTM chains over distinct modes
+/// commute mathematically but not bitwise.
+pub type CacheKey = Vec<(usize, usize, usize)>;
+
+/// Running counters of cache behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found the key.
+    pub hits: u64,
+    /// Lookups that did not.
+    pub misses: u64,
+    /// Successful insertions.
+    pub insertions: u64,
+    /// Entries removed to make room.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// `hits / (hits + misses)`, or 0 with no traffic.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    tensor: DenseTensor,
+    bytes: usize,
+    last_used: u64,
+}
+
+/// LRU cache of partial contractions under a byte budget.
+#[derive(Debug)]
+pub struct ContractionCache {
+    map: HashMap<CacheKey, Entry>,
+    budget: usize,
+    used: usize,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl ContractionCache {
+    /// A cache holding at most `budget_bytes` of tensor payload. A zero
+    /// budget disables caching (every lookup misses, inserts are dropped).
+    pub fn new(budget_bytes: usize) -> Self {
+        ContractionCache {
+            map: HashMap::new(),
+            budget: budget_bytes,
+            used: 0,
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    fn entry_bytes(t: &DenseTensor) -> usize {
+        t.numel() * std::mem::size_of::<f64>() + t.order() * std::mem::size_of::<usize>()
+    }
+
+    /// Looks up a partial contraction, refreshing its recency on hit.
+    pub fn get(&mut self, key: &CacheKey) -> Option<DenseTensor> {
+        self.tick += 1;
+        match self.map.get_mut(key) {
+            Some(e) => {
+                e.last_used = self.tick;
+                self.stats.hits += 1;
+                Some(e.tensor.clone())
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a partial contraction, evicting least-recently-used entries
+    /// until it fits. Tensors larger than the whole budget are dropped.
+    pub fn insert(&mut self, key: CacheKey, tensor: &DenseTensor) {
+        let bytes = Self::entry_bytes(tensor);
+        if bytes > self.budget {
+            return;
+        }
+        if let Some(old) = self.map.remove(&key) {
+            self.used -= old.bytes;
+        }
+        while self.used + bytes > self.budget {
+            let lru = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("used > 0 implies entries exist");
+            let e = self.map.remove(&lru).expect("key from live iteration");
+            self.used -= e.bytes;
+            self.stats.evictions += 1;
+        }
+        self.tick += 1;
+        self.map.insert(
+            key,
+            Entry {
+                tensor: tensor.clone(),
+                bytes,
+                last_used: self.tick,
+            },
+        );
+        self.used += bytes;
+        self.stats.insertions += 1;
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Bytes currently held.
+    pub fn used_bytes(&self) -> usize {
+        self.used
+    }
+
+    /// The configured budget.
+    pub fn budget_bytes(&self) -> usize {
+        self.budget
+    }
+
+    /// Drops all entries (counters are kept).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.used = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tensor(numel: usize, fill: f64) -> DenseTensor {
+        DenseTensor::from_vec(&[numel], vec![fill; numel]).unwrap()
+    }
+
+    fn key(id: usize) -> CacheKey {
+        vec![(id, 0, 1)]
+    }
+
+    #[test]
+    fn hit_miss_and_round_trip() {
+        let mut c = ContractionCache::new(1 << 20);
+        assert!(c.get(&key(1)).is_none());
+        c.insert(key(1), &tensor(4, 2.5));
+        let back = c.get(&key(1)).unwrap();
+        assert_eq!(back.as_slice(), &[2.5; 4]);
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+        assert_eq!(c.stats().insertions, 1);
+        assert!((c.stats().hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(c.len(), 1);
+        assert!(c.used_bytes() > 0);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.used_bytes(), 0);
+    }
+
+    #[test]
+    fn lru_eviction_respects_budget() {
+        // Budget fits two 10-element entries but not three.
+        let one = ContractionCache::entry_bytes(&tensor(10, 0.0));
+        let mut c = ContractionCache::new(2 * one);
+        c.insert(key(1), &tensor(10, 1.0));
+        c.insert(key(2), &tensor(10, 2.0));
+        assert!(c.get(&key(1)).is_some()); // refresh 1 → 2 is now LRU
+        c.insert(key(3), &tensor(10, 3.0));
+        assert_eq!(c.stats().evictions, 1);
+        assert!(c.get(&key(2)).is_none(), "LRU entry should be gone");
+        assert!(c.get(&key(1)).is_some());
+        assert!(c.get(&key(3)).is_some());
+        assert!(c.used_bytes() <= c.budget_bytes());
+    }
+
+    #[test]
+    fn oversized_and_zero_budget() {
+        let mut c = ContractionCache::new(8);
+        c.insert(key(1), &tensor(100, 1.0));
+        assert_eq!(c.len(), 0, "oversized entry must be dropped");
+        let mut z = ContractionCache::new(0);
+        z.insert(key(1), &tensor(1, 1.0));
+        assert!(z.get(&key(1)).is_none());
+        assert_eq!(z.stats().insertions, 0);
+    }
+
+    #[test]
+    fn reinsert_replaces_without_leak() {
+        let one = ContractionCache::entry_bytes(&tensor(10, 0.0));
+        let mut c = ContractionCache::new(2 * one);
+        c.insert(key(1), &tensor(10, 1.0));
+        c.insert(key(1), &tensor(10, 9.0));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.used_bytes(), one);
+        assert_eq!(c.get(&key(1)).unwrap().as_slice()[0], 9.0);
+    }
+}

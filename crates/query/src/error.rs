@@ -1,0 +1,112 @@
+//! Error types for the query engine.
+
+use dtucker_core::CoreError;
+use dtucker_linalg::LinalgError;
+use dtucker_store::StoreError;
+use dtucker_tensor::TensorError;
+use std::fmt;
+
+/// Errors produced while planning or answering queries.
+#[derive(Debug)]
+pub enum QueryError {
+    /// The requested range does not fit the tensor (wrong order, empty or
+    /// reversed bounds, bounds past the end of a mode).
+    InvalidRange {
+        /// Human-readable description of the violation.
+        details: String,
+    },
+    /// A textual query specification could not be parsed.
+    Parse(String),
+    /// Loading the artifact failed.
+    Store(StoreError),
+    /// The decomposition itself is inconsistent.
+    Core(CoreError),
+    /// A tensor-level operation failed.
+    Tensor(TensorError),
+    /// A matrix-level operation failed.
+    Linalg(LinalgError),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::InvalidRange { details } => write!(f, "invalid range: {details}"),
+            QueryError::Parse(d) => write!(f, "cannot parse query: {d}"),
+            QueryError::Store(e) => write!(f, "store error: {e}"),
+            QueryError::Core(e) => write!(f, "core error: {e}"),
+            QueryError::Tensor(e) => write!(f, "tensor error: {e}"),
+            QueryError::Linalg(e) => write!(f, "linalg error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QueryError::Store(e) => Some(e),
+            QueryError::Core(e) => Some(e),
+            QueryError::Tensor(e) => Some(e),
+            QueryError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StoreError> for QueryError {
+    fn from(e: StoreError) -> Self {
+        QueryError::Store(e)
+    }
+}
+
+impl From<CoreError> for QueryError {
+    fn from(e: CoreError) -> Self {
+        QueryError::Core(e)
+    }
+}
+
+impl From<TensorError> for QueryError {
+    fn from(e: TensorError) -> Self {
+        QueryError::Tensor(e)
+    }
+}
+
+impl From<LinalgError> for QueryError {
+    fn from(e: LinalgError) -> Self {
+        QueryError::Linalg(e)
+    }
+}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, QueryError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = QueryError::InvalidRange {
+            details: "mode 2".into(),
+        };
+        assert!(e.to_string().contains("mode 2"));
+        assert!(e.source().is_none());
+        let e = QueryError::Parse("bad spec".into());
+        assert!(e.to_string().contains("bad spec"));
+        let e: QueryError = StoreError::Format("short".into()).into();
+        assert!(e.source().is_some());
+        let e: QueryError = CoreError::InvalidConfig {
+            details: "x".into(),
+        }
+        .into();
+        assert!(e.to_string().contains("core"));
+        let e: QueryError = TensorError::Format("y".into()).into();
+        assert!(e.to_string().contains("tensor"));
+        let e: QueryError = LinalgError::DimensionMismatch {
+            op: "matmul",
+            details: "z".into(),
+        }
+        .into();
+        assert!(e.to_string().contains("linalg"));
+    }
+}

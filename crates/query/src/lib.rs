@@ -1,0 +1,51 @@
+//! # dtucker-query
+//!
+//! A factored reconstruction query engine for stored Tucker artifacts.
+//!
+//! D-Tucker's output `G ×₁ A⁽¹⁾ ⋯ ×_N A⁽ᴺ⁾` is orders of magnitude
+//! smaller than the tensor it approximates — but that only pays off
+//! downstream if values can be read back *without* materializing the full
+//! tensor. This crate serves **element, fiber, slice, and arbitrary
+//! hyper-rectangle** reconstruction queries, plus sum/mean/Frobenius-norm
+//! aggregates, straight from the factors:
+//!
+//! - [`plan`] simulates the FLOP cost of every mode-contraction order and
+//!   picks the cheapest (shrinking modes first), deterministically;
+//! - [`cache`] keeps recently-used partial contractions in a byte-budgeted
+//!   LRU keyed by the ordered contraction chain;
+//! - [`engine::QueryEngine`] executes plans on the shared worker pool,
+//!   resumes from the longest cached prefix, reorders batches so queries
+//!   sharing a prefix run back-to-back, and times its plan/cache/contract
+//!   phases into the workspace-wide
+//!   [`PhaseProfile`](dtucker_core::PhaseProfile).
+//!
+//! Results are exactly what slicing the naively-reconstructed tensor
+//! would give (up to the summation-order tolerance pinned by the property
+//! tests), and identical queries are **bit-identical** regardless of
+//! cache state.
+//!
+//! ```no_run
+//! use dtucker_query::{QueryEngine, Range};
+//!
+//! let mut engine = QueryEngine::open("artifacts/decomp.dts")?;
+//! let v = engine.element(&[3, 17, 5])?;
+//! let shape = engine.shape().to_vec();
+//! let box_ = Range::parse("0:8,17,:", &shape)?;
+//! let block = engine.query(&box_)?;
+//! println!("x[3,17,5] = {v}, block sum = {}", engine.sum(&box_)?);
+//! # Ok::<(), dtucker_query::QueryError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod engine;
+pub mod error;
+pub mod plan;
+pub mod range;
+
+pub use cache::{CacheStats, ContractionCache};
+pub use engine::{QueryEngine, DEFAULT_CACHE_BYTES};
+pub use error::{QueryError, Result};
+pub use plan::{plan, PlanStep, QueryPlan};
+pub use range::Range;

@@ -1,0 +1,195 @@
+//! Contraction-order planning.
+//!
+//! Answering a range query means contracting the core `G` with the row
+//! block `A⁽ⁿ⁾[loₙ..hiₙ, :]` of every factor. The contractions commute
+//! mathematically, but their cost does not: contracting mode `n` changes
+//! that mode's size from `Jₙ` to `rₙ = hiₙ − loₙ`, and every later step
+//! pays for whatever sizes are current. Shrinking modes (`rₙ < Jₙ`)
+//! should therefore go first and expanding modes last — the distributed
+//! dense-Tucker literature's mode-ordering insight applied to serving.
+//!
+//! The planner *simulates* the exact FLOP count of every mode order
+//! (exhaustive for ≤ 6 modes — at most 720 permutations of a length-6
+//! cost loop) and returns the cheapest, breaking ties by lexicographic
+//! order so plans — and hence cache keys and result bits — are
+//! deterministic. Beyond 6 modes it falls back to the greedy
+//! `(1/rₙ − 1/Jₙ)` descending sort, which the exchange argument proves
+//! optimal whenever step costs factor (they do: each step's cost is
+//! `2·rₙ·Jₙ·∏_{m≠n} current_m`).
+
+use crate::range::Range;
+
+/// Mode count up to which the planner searches all permutations.
+const EXHAUSTIVE_LIMIT: usize = 6;
+
+/// One contraction step: multiply the current intermediate by rows
+/// `rows.0..rows.1` of factor `mode`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PlanStep {
+    /// Mode being contracted.
+    pub mode: usize,
+    /// Half-open row range of the factor.
+    pub rows: (usize, usize),
+}
+
+/// An ordered contraction plan with its simulated cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryPlan {
+    /// Contraction steps, cheapest-first per the cost model.
+    pub steps: Vec<PlanStep>,
+    /// Simulated floating-point operations for the whole chain.
+    pub flops: f64,
+}
+
+impl QueryPlan {
+    /// The cache-key chain for the first `k` steps: the ordered
+    /// `(mode, lo, hi)` prefix. Ordering is part of the key because TTM
+    /// chains over distinct modes commute mathematically but not bitwise —
+    /// caching under an order-insensitive key would make results depend on
+    /// cache history.
+    pub fn prefix_key(&self, k: usize) -> Vec<(usize, usize, usize)> {
+        self.steps[..k]
+            .iter()
+            .map(|s| (s.mode, s.rows.0, s.rows.1))
+            .collect()
+    }
+}
+
+/// Exact FLOPs of contracting in the order `perm` (indices into
+/// `extents`/`ranks`), simulating the evolving intermediate sizes.
+fn simulate(perm: &[usize], ranks: &[usize], extents: &[usize]) -> f64 {
+    let mut sizes: Vec<f64> = ranks.iter().map(|&j| j as f64).collect();
+    let mut flops = 0.0;
+    for &n in perm {
+        let others: f64 = sizes
+            .iter()
+            .enumerate()
+            .filter(|&(m, _)| m != n)
+            .map(|(_, &s)| s)
+            .product();
+        flops += 2.0 * extents[n] as f64 * ranks[n] as f64 * others;
+        sizes[n] = extents[n] as f64;
+    }
+    flops
+}
+
+/// Enumerates permutations of `items` in lexicographic order, calling
+/// `visit` on each.
+fn for_each_permutation(
+    items: &mut Vec<usize>,
+    prefix: &mut Vec<usize>,
+    visit: &mut impl FnMut(&[usize]),
+) {
+    if items.is_empty() {
+        visit(prefix);
+        return;
+    }
+    for i in 0..items.len() {
+        let x = items.remove(i);
+        prefix.push(x);
+        for_each_permutation(items, prefix, visit);
+        prefix.pop();
+        items.insert(i, x);
+    }
+}
+
+/// Plans the contraction order for `range` against a core of shape
+/// `ranks`. `range` must already be validated against the full shape;
+/// the planner only needs the extents.
+pub fn plan(ranks: &[usize], range: &Range) -> QueryPlan {
+    let extents = range.extents();
+    let n = ranks.len();
+    let order: Vec<usize> = if n <= EXHAUSTIVE_LIMIT {
+        let mut best: Option<(f64, Vec<usize>)> = None;
+        let mut modes: Vec<usize> = (0..n).collect();
+        for_each_permutation(&mut modes, &mut Vec::with_capacity(n), &mut |perm| {
+            let cost = simulate(perm, ranks, &extents);
+            // Strict improvement keeps the lexicographically-first optimum.
+            if best.as_ref().map_or(true, |(c, _)| cost < *c) {
+                best = Some((cost, perm.to_vec()));
+            }
+        });
+        best.expect("at least one permutation").1
+    } else {
+        // Greedy: sort by (1/r − 1/J) descending — the per-step cost is
+        // r·J·∏others, and swapping adjacent steps shows the order that
+        // shrinks the running product fastest is optimal.
+        let mut modes: Vec<usize> = (0..n).collect();
+        modes.sort_by(|&a, &b| {
+            let ka = 1.0 / extents[a] as f64 - 1.0 / ranks[a] as f64;
+            let kb = 1.0 / extents[b] as f64 - 1.0 / ranks[b] as f64;
+            kb.partial_cmp(&ka).unwrap().then(a.cmp(&b))
+        });
+        modes
+    };
+    let flops = simulate(&order, ranks, &extents);
+    let steps = order
+        .into_iter()
+        .map(|mode| PlanStep {
+            mode,
+            rows: range.bounds()[mode],
+        })
+        .collect();
+    QueryPlan { steps, flops }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn order_of(p: &QueryPlan) -> Vec<usize> {
+        p.steps.iter().map(|s| s.mode).collect()
+    }
+
+    #[test]
+    fn small_extents_contract_first() {
+        // Mode 1 selects a single row (max shrink), mode 0 expands
+        // 3 → 100: the plan must pin mode 1 first and mode 0 last.
+        let ranks = [3, 4, 5];
+        let r = Range::new(vec![(0, 100), (7, 8), (0, 5)]);
+        let p = plan(&ranks, &r);
+        assert_eq!(order_of(&p).first(), Some(&1));
+        assert_eq!(order_of(&p).last(), Some(&0));
+        assert!(p.flops > 0.0);
+    }
+
+    #[test]
+    fn exhaustive_matches_brute_force_cost() {
+        let ranks = [2, 6, 3, 4];
+        let r = Range::new(vec![(0, 9), (1, 2), (0, 3), (2, 8)]);
+        let p = plan(&ranks, &r);
+        // No permutation beats the planner's cost.
+        let mut modes: Vec<usize> = (0..4).collect();
+        let extents = r.extents();
+        let mut min = f64::INFINITY;
+        for_each_permutation(&mut modes, &mut Vec::new(), &mut |perm| {
+            min = min.min(simulate(perm, &ranks, &extents));
+        });
+        assert_eq!(p.flops, min);
+    }
+
+    #[test]
+    fn plan_is_deterministic_and_keys_ordered() {
+        let ranks = [3, 3, 3];
+        let r = Range::new(vec![(0, 3), (0, 3), (0, 3)]);
+        let a = plan(&ranks, &r);
+        let b = plan(&ranks, &r);
+        assert_eq!(a, b);
+        // Symmetric cost → lexicographically-first order wins.
+        assert_eq!(order_of(&a), vec![0, 1, 2]);
+        assert_eq!(a.prefix_key(2), vec![(0, 0, 3), (1, 0, 3)]);
+        assert_eq!(a.prefix_key(0), Vec::<(usize, usize, usize)>::new());
+    }
+
+    #[test]
+    fn greedy_fallback_used_beyond_limit() {
+        // 7 modes: falls back to the greedy sort, still cheapest-first.
+        let ranks = [2; 7];
+        let mut bounds = vec![(0, 2); 7];
+        bounds[3] = (1, 2); // only shrinking mode
+        bounds[5] = (0, 50); // strongly expanding mode
+        let p = plan(&ranks, &Range::new(bounds));
+        assert_eq!(order_of(&p).first(), Some(&3));
+        assert_eq!(order_of(&p).last(), Some(&5));
+    }
+}

@@ -1,0 +1,156 @@
+//! Property-based equivalence: for random decompositions and random
+//! hyper-rectangles — including degenerate ones (single element, full
+//! mode) — the factored query engine must return exactly what slicing
+//! the naively-materialized reconstruction returns, for values and for
+//! aggregates, with and without the cache, one-shot and batched.
+
+use dtucker_core::TuckerDecomp;
+use dtucker_linalg::Matrix;
+use dtucker_query::{QueryEngine, Range};
+use dtucker_tensor::DenseTensor;
+use proptest::prelude::*;
+
+/// Summation order differs between the planner's contraction order and
+/// the naive TTM chain, so equality is up to rounding on O(10) entries
+/// of magnitude ≤ 10.
+const TOL: f64 = 1e-8;
+
+/// Strategy: a structurally valid order-2..4 Tucker decomposition with
+/// ranks in [1, 3] and dims up to 6 (degenerate dim-1 modes included).
+fn tucker_strategy() -> impl Strategy<Value = TuckerDecomp> {
+    proptest::collection::vec((1usize..=3, 0usize..=3), 2..=4).prop_flat_map(|modes| {
+        let ranks: Vec<usize> = modes.iter().map(|&(r, _)| r).collect();
+        let dims: Vec<usize> = modes.iter().map(|&(r, extra)| r + extra).collect();
+        let core_n: usize = ranks.iter().product();
+        let fact_n: usize = dims.iter().zip(&ranks).map(|(d, r)| d * r).sum();
+        proptest::collection::vec(-10.0f64..10.0, core_n + fact_n).prop_map(move |data| {
+            let core = DenseTensor::from_vec(&ranks, data[..core_n].to_vec()).unwrap();
+            let mut off = core_n;
+            let factors: Vec<Matrix> = dims
+                .iter()
+                .zip(&ranks)
+                .map(|(&d, &r)| {
+                    let m = Matrix::from_vec(d, r, data[off..off + d * r].to_vec()).unwrap();
+                    off += d * r;
+                    m
+                })
+                .collect();
+            TuckerDecomp { core, factors }
+        })
+    })
+}
+
+/// Strategy: a valid range for `shape`, biased so full modes and
+/// single-index modes appear often.
+fn range_strategy(shape: Vec<usize>) -> impl Strategy<Value = Range> {
+    let per_mode: Vec<_> = shape
+        .into_iter()
+        .map(|d| {
+            prop_oneof![
+                Just((0usize, d)),               // full mode
+                (0..d).prop_map(|i| (i, i + 1)), // single index
+                (0..d).prop_flat_map(move |lo| (lo + 1..=d).prop_map(move |hi| (lo, hi))),
+            ]
+        })
+        .collect();
+    per_mode.prop_map(Range::new)
+}
+
+/// Strategy: a decomposition together with a batch of ranges for it.
+fn decomp_and_ranges(max_ranges: usize) -> impl Strategy<Value = (TuckerDecomp, Vec<Range>)> {
+    tucker_strategy().prop_flat_map(move |d| {
+        let shape = d.full_shape();
+        let ranges = proptest::collection::vec(range_strategy(shape), 1..=max_ranges);
+        (Just(d), ranges)
+    })
+}
+
+fn assert_matches_naive(got: &DenseTensor, full: &DenseTensor, r: &Range) {
+    let want = full.subtensor(r.bounds()).unwrap();
+    assert_eq!(got.shape(), want.shape());
+    for (a, b) in got.as_slice().iter().zip(want.as_slice()) {
+        assert!((a - b).abs() < TOL, "range {r}: {a} vs {b}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn factored_query_equals_naive_reconstruction((d, ranges) in decomp_and_ranges(4)) {
+        let full = d.reconstruct().unwrap();
+        let mut engine = QueryEngine::new(d).unwrap();
+        for r in &ranges {
+            let got = engine.query(r).unwrap();
+            assert_matches_naive(&got, &full, r);
+        }
+    }
+
+    #[test]
+    fn cache_state_never_changes_results((d, ranges) in decomp_and_ranges(3)) {
+        // Serve the same queries twice through one cached engine and once
+        // through a cache-less engine: all three must agree bit-for-bit,
+        // since plans are deterministic and cached intermediates are the
+        // exact tensors the engine would recompute.
+        let mut cached = QueryEngine::new(d.clone()).unwrap();
+        let mut bare = QueryEngine::with_cache_bytes(d, 0).unwrap();
+        for r in &ranges {
+            let cold = cached.query(r).unwrap();
+            let warm = cached.query(r).unwrap();
+            let none = bare.query(r).unwrap();
+            for ((a, b), c) in cold
+                .as_slice()
+                .iter()
+                .zip(warm.as_slice())
+                .zip(none.as_slice())
+            {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+                prop_assert_eq!(a.to_bits(), c.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn batch_equals_one_shot((d, ranges) in decomp_and_ranges(5)) {
+        let full = d.reconstruct().unwrap();
+        let mut engine = QueryEngine::new(d).unwrap();
+        let out = engine.query_batch(&ranges).unwrap();
+        prop_assert_eq!(out.len(), ranges.len());
+        for (r, got) in ranges.iter().zip(&out) {
+            assert_matches_naive(got, &full, r);
+        }
+    }
+
+    #[test]
+    fn aggregates_equal_naive((d, ranges) in decomp_and_ranges(3)) {
+        let full = d.reconstruct().unwrap();
+        let mut engine = QueryEngine::new(d).unwrap();
+        for r in &ranges {
+            let sub = full.subtensor(r.bounds()).unwrap();
+            let naive_sum: f64 = sub.as_slice().iter().sum();
+            // The ones-contraction sum never sees the range's elements, so
+            // its rounding profile differs; scale tolerance with the mass.
+            let scale = 1.0 + sub.as_slice().iter().map(|v| v.abs()).sum::<f64>();
+            prop_assert!((engine.sum(r).unwrap() - naive_sum).abs() < TOL * scale);
+            prop_assert!(
+                (engine.mean(r).unwrap() - naive_sum / sub.numel() as f64).abs() < TOL * scale
+            );
+            prop_assert!((engine.fro_norm(r).unwrap() - sub.fro_norm()).abs() < TOL * scale);
+        }
+    }
+
+    #[test]
+    fn out_of_bounds_ranges_rejected(d in tucker_strategy(), bump in 1usize..4) {
+        let shape = d.full_shape();
+        let mut engine = QueryEngine::new(d).unwrap();
+        // Push one mode past the end: typed error, never a panic.
+        let mut bounds: Vec<(usize, usize)> = shape.iter().map(|&s| (0, s)).collect();
+        bounds[0].1 += bump;
+        let r = Range::new(bounds);
+        prop_assert!(engine.query(&r).is_err());
+        prop_assert!(engine.sum(&r).is_err());
+        // Wrong order is rejected too.
+        let r = Range::new(vec![(0, 1)]);
+        prop_assert!(engine.query(&r).is_err() || shape.len() == 1);
+    }
+}

@@ -94,27 +94,51 @@ impl ArtifactStore {
     }
 
     /// Lists the store's artifacts as `(name, kind)`, sorted by name.
-    /// Files that are not valid containers are skipped (they may be
-    /// foreign files, not corruption of ours).
+    ///
+    /// Foreign or corrupt `.dts` files are skipped with a warning on
+    /// stderr — a store directory shared with other tools (or holding a
+    /// damaged artifact) must stay listable, not abort.
     pub fn list(&self) -> Result<Vec<(String, ArtifactKind)>> {
+        let (artifacts, skipped) = self.scan()?;
+        for (path, reason) in &skipped {
+            eprintln!("warning: skipping {}: {reason}", path.display());
+        }
+        Ok(artifacts)
+    }
+
+    /// Like [`list`](ArtifactStore::list), but returns the skipped `.dts`
+    /// files alongside the valid artifacts instead of warning, so callers
+    /// can surface them their own way. Only directory-level I/O failures
+    /// are errors; per-file problems (unreadable, truncated, foreign
+    /// bytes, checksum mismatch) land in the skip list with the reason.
+    #[allow(clippy::type_complexity)]
+    pub fn scan(&self) -> Result<(Vec<(String, ArtifactKind)>, Vec<(PathBuf, String)>)> {
         let mut out = Vec::new();
+        let mut skipped = Vec::new();
         for entry in fs::read_dir(&self.dir)? {
             let path = entry?.path();
             if path.extension().and_then(|e| e.to_str()) != Some(EXTENSION) {
                 continue;
             }
             let Some(stem) = path.file_stem().and_then(|s| s.to_str()) else {
+                skipped.push((path, "non-UTF-8 file name".to_string()));
                 continue;
             };
-            let Ok(bytes) = fs::read(&path) else {
-                continue;
+            let bytes = match fs::read(&path) {
+                Ok(b) => b,
+                Err(e) => {
+                    skipped.push((path, format!("unreadable: {e}")));
+                    continue;
+                }
             };
-            if let Ok((kind, _)) = decode_container(&bytes) {
-                out.push((stem.to_string(), kind));
+            match decode_container(&bytes) {
+                Ok((kind, _)) => out.push((stem.to_string(), kind)),
+                Err(e) => skipped.push((path, e.to_string())),
             }
         }
         out.sort();
-        Ok(out)
+        skipped.sort();
+        Ok((out, skipped))
     }
 }
 
@@ -229,6 +253,54 @@ mod tests {
         fs::write(dir.join("notes.txt"), b"hello").unwrap();
         fs::write(dir.join("junk.dts"), b"not a container").unwrap();
         assert!(store.list().unwrap().is_empty());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn scan_reports_foreign_and_corrupt_alongside_valid() {
+        // Regression: a store directory containing foreign bytes, a
+        // truncated artifact, and a bit-flipped artifact must stay
+        // listable — valid entries come back, damage is reported per file,
+        // and nothing aborts the listing.
+        let dir = tmpdir("scan_mixed");
+        let store = ArtifactStore::open(&dir).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let x = low_rank_plus_noise(&[8, 7, 3], &[2, 2, 2], 0.05, &mut rng).unwrap();
+        let out = DTucker::new(DTuckerConfig::uniform(2, 3).with_seed(1))
+            .decompose(&x)
+            .unwrap();
+        store
+            .save_decomposition("good", &out.decomposition)
+            .unwrap();
+
+        // Foreign: plausible-looking but not our container.
+        fs::write(dir.join("foreign.dts"), b"PNG\x89 pretending to be dts").unwrap();
+        // Truncated: a valid artifact cut short.
+        let full = fs::read(store.path("good")).unwrap();
+        fs::write(dir.join("truncated.dts"), &full[..full.len() / 2]).unwrap();
+        // Corrupt: single bit flipped in the payload.
+        let mut flipped = full.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x10;
+        fs::write(dir.join("flipped.dts"), &flipped).unwrap();
+        // Non-.dts files are ignored entirely, not reported.
+        fs::write(dir.join("README.md"), b"docs").unwrap();
+
+        let (artifacts, skipped) = store.scan().unwrap();
+        assert_eq!(artifacts, vec![("good".to_string(), ArtifactKind::Tucker)]);
+        let skipped_names: Vec<String> = skipped
+            .iter()
+            .map(|(p, _)| p.file_name().unwrap().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(
+            skipped_names,
+            vec!["flipped.dts", "foreign.dts", "truncated.dts"]
+        );
+        for (_, reason) in &skipped {
+            assert!(!reason.is_empty());
+        }
+        // list() warns-and-skips: same artifacts, no error.
+        assert_eq!(store.list().unwrap(), artifacts);
         fs::remove_dir_all(&dir).ok();
     }
 

@@ -226,6 +226,61 @@ impl DenseTensor {
         })
     }
 
+    /// Extracts the hyper-rectangle with half-open per-mode bounds
+    /// `[lo, hi)` as a new tensor of shape `(hi₁−lo₁, …, hi_N−lo_N)`.
+    ///
+    /// This is the *naive* range extraction: it requires the full tensor to
+    /// be resident. The query engine reconstructs the same hyper-rectangle
+    /// straight from Tucker factors; this method is its correctness oracle.
+    pub fn subtensor(&self, bounds: &[(usize, usize)]) -> Result<DenseTensor> {
+        if bounds.len() != self.order() {
+            return Err(TensorError::ShapeMismatch {
+                op: "subtensor",
+                details: format!("{} bounds for order-{} tensor", bounds.len(), self.order()),
+            });
+        }
+        for (n, (&(lo, hi), &dim)) in bounds.iter().zip(self.shape.iter()).enumerate() {
+            if lo >= hi || hi > dim {
+                return Err(TensorError::ShapeMismatch {
+                    op: "subtensor",
+                    details: format!("bounds {lo}..{hi} invalid for mode {n} of size {dim}"),
+                });
+            }
+        }
+        let out_shape: Vec<usize> = bounds.iter().map(|&(lo, hi)| hi - lo).collect();
+        let mut out = DenseTensor::zeros(&out_shape)?;
+        // Runs along mode 0 are contiguous in Fortran layout: walk an
+        // odometer over the trailing modes and copy one run per tick.
+        let strides: Vec<usize> = {
+            let mut s = Vec::with_capacity(self.order());
+            let mut acc = 1usize;
+            for &d in &self.shape {
+                s.push(acc);
+                acc *= d;
+            }
+            s
+        };
+        let run = out_shape[0];
+        let nruns: usize = out_shape[1..].iter().product();
+        let mut idx = vec![0usize; self.order().saturating_sub(1)];
+        let dst = out.as_mut_slice();
+        for r in 0..nruns {
+            let mut src_off = bounds[0].0;
+            for (k, &i) in idx.iter().enumerate() {
+                src_off += (bounds[k + 1].0 + i) * strides[k + 1];
+            }
+            dst[r * run..(r + 1) * run].copy_from_slice(&self.data[src_off..src_off + run]);
+            for (k, i) in idx.iter_mut().enumerate() {
+                *i += 1;
+                if *i < out_shape[k + 1] {
+                    break;
+                }
+                *i = 0;
+            }
+        }
+        Ok(out)
+    }
+
     /// Number of frontal slices `L = I₃ · I₄ ⋯ I_N` (1 for order-2 tensors).
     pub fn num_frontal_slices(&self) -> usize {
         if self.order() <= 2 {
@@ -437,6 +492,37 @@ mod tests {
     fn from_vec_validates() {
         assert!(DenseTensor::from_vec(&[2, 2], vec![0.0; 4]).is_ok());
         assert!(DenseTensor::from_vec(&[2, 2], vec![0.0; 5]).is_err());
+    }
+
+    #[test]
+    fn subtensor_extracts_hyper_rectangles() {
+        let t = DenseTensor::from_fn(&[4, 3, 5], |idx| {
+            (idx[0] * 100 + idx[1] * 10 + idx[2]) as f64
+        })
+        .unwrap();
+        // Full-tensor bounds are the identity.
+        let full = t.subtensor(&[(0, 4), (0, 3), (0, 5)]).unwrap();
+        assert_eq!(full, t);
+        // Interior box.
+        let s = t.subtensor(&[(1, 3), (0, 2), (2, 5)]).unwrap();
+        assert_eq!(s.shape(), &[2, 2, 3]);
+        for i in 0..2 {
+            for j in 0..2 {
+                for k in 0..3 {
+                    assert_eq!(s.get(&[i, j, k]), t.get(&[i + 1, j, k + 2]));
+                }
+            }
+        }
+        // Single element and order-1.
+        let e = t.subtensor(&[(3, 4), (2, 3), (4, 5)]).unwrap();
+        assert_eq!(e.as_slice(), &[t.get(&[3, 2, 4])]);
+        let v = DenseTensor::from_vec(&[5], vec![0.0, 1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(v.subtensor(&[(1, 4)]).unwrap().as_slice(), &[1.0, 2.0, 3.0]);
+        // Invalid bounds are typed errors.
+        assert!(t.subtensor(&[(0, 4), (0, 3)]).is_err());
+        assert!(t.subtensor(&[(0, 5), (0, 3), (0, 5)]).is_err());
+        assert!(t.subtensor(&[(2, 2), (0, 3), (0, 5)]).is_err());
+        assert!(t.subtensor(&[(3, 1), (0, 3), (0, 5)]).is_err());
     }
 
     #[test]

@@ -9,7 +9,10 @@
 //!                         [--save-core core.dten] [--save-decomp d.dts]
 //!                         [--checkpoint ck.dts [--checkpoint-every N]]
 //! dtucker-cli resume      --sliced art.dts --checkpoint ck.dts [--save-decomp d.dts]
-//! dtucker-cli reconstruct --decomp d.dts | --sliced art.dts  --out xhat.dten
+//! dtucker-cli reconstruct --decomp d.dts | --sliced art.dts  --out xhat.dten [--range SPEC]
+//! dtucker-cli query       --decomp d.dts  --at i,j,k | --range SPEC | --stdin
+//!                         [--agg sum|mean|fro] [--out box.dten] [--cache-mb N]
+//!                         [--profile] [--verify]
 //! ```
 //!
 //! `compress` never materializes the input tensor: slices stream from the
@@ -17,8 +20,19 @@
 //! in-memory path. `decompose --checkpoint` makes long runs kill-safe;
 //! `resume` continues them to the same factors the uninterrupted run
 //! would have produced.
+//!
+//! `query` serves values straight from the factored form — the full
+//! tensor is never materialized (except under `--verify`, which checks
+//! every answer against naive reconstruction). A range `SPEC` is one
+//! comma-separated term per mode: `i`, `lo:hi`, `lo:`, `:hi`, or `:`
+//! (e.g. `3,0:10,:`). `--stdin` reads one spec per line and serves them
+//! as a batch, reordered so queries sharing a contraction prefix hit the
+//! partial-contraction cache.
 
-use dtucker::{DTucker, DTuckerConfig, DTuckerOutput, SliceSource, SlicedTensor};
+use dtucker::{
+    DTucker, DTuckerConfig, DTuckerOutput, DenseTensor, QueryEngine, Range, SliceSource,
+    SlicedTensor,
+};
 use dtucker_baselines::{hooi, hosvd, mach, rtd, st_hosvd, HooiConfig, MachConfig, RtdConfig};
 use dtucker_data::{generate, parse_scale, Dataset};
 use dtucker_store::{self as store, DtenSliceSource, HooiCheckpoint};
@@ -51,7 +65,9 @@ fn fail(msg: &str) -> ExitCode {
     eprintln!(
         "  dtucker-cli resume    --sliced <art.dts> --checkpoint <ck.dts> [--save-decomp <d.dts>]"
     );
-    eprintln!("  dtucker-cli reconstruct --decomp <d.dts> | --sliced <art.dts>  --out <xhat.dten>");
+    eprintln!("  dtucker-cli reconstruct --decomp <d.dts> | --sliced <art.dts>  --out <xhat.dten> [--range SPEC]");
+    eprintln!("  dtucker-cli query     --decomp <d.dts>  --at i,j,k | --range SPEC | --stdin");
+    eprintln!("                        [--agg sum|mean|fro] [--out <box.dten>] [--cache-mb N] [--profile] [--verify]");
     ExitCode::from(2)
 }
 
@@ -64,6 +80,7 @@ fn main() -> ExitCode {
         Some("decompose") => cmd_decompose(&args),
         Some("resume") => cmd_resume(&args),
         Some("reconstruct") => cmd_reconstruct(&args),
+        Some("query") => cmd_query(&args),
         _ => fail("missing or unknown subcommand"),
     }
 }
@@ -410,36 +427,428 @@ fn cmd_resume(args: &[String]) -> ExitCode {
 }
 
 fn cmd_reconstruct(args: &[String]) -> ExitCode {
-    let Some(out) = opt(args, "out") else {
-        return fail("--out is required");
-    };
+    match try_reconstruct(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => fail(&e),
+    }
+}
+
+/// Reconstruction with an optional `--range SPEC`. The `--decomp` path is
+/// served by the query engine, so only the requested box is ever
+/// materialized; `--sliced` has no factored form to query and expands the
+/// compressed representation first. Out-of-bounds or malformed specs are
+/// typed errors, never panics, and the output goes through the atomic
+/// write helper (temp file + rename) like every other artifact.
+fn try_reconstruct(args: &[String]) -> Result<(), String> {
+    let out = opt(args, "out").ok_or("--out is required")?;
     let decomp = opt(args, "decomp");
     let sliced = opt(args, "sliced");
     if decomp.is_some() == sliced.is_some() {
-        return fail("exactly one of --decomp / --sliced is required");
+        return Err("exactly one of --decomp / --sliced is required".into());
     }
+    let range = opt(args, "range");
 
     let t0 = Instant::now();
     let x = if let Some(path) = decomp {
-        match store::read_decomposition(&path).and_then(|d| Ok(d.reconstruct()?)) {
-            Ok(x) => x,
-            Err(e) => return fail(&e.to_string()),
-        }
+        let mut engine = QueryEngine::open(&path).map_err(|e| e.to_string())?;
+        let shape = engine.shape().to_vec();
+        let r = match &range {
+            Some(spec) => Range::parse(spec, &shape).map_err(|e| e.to_string())?,
+            None => Range::full(&shape),
+        };
+        engine.query(&r).map_err(|e| e.to_string())?
     } else {
         let path = sliced.expect("validated above");
-        match store::read_sliced(&path).and_then(|st| Ok(st.reconstruct()?)) {
-            Ok(x) => x,
-            Err(e) => return fail(&e.to_string()),
+        let st = store::read_sliced(&path).map_err(|e| e.to_string())?;
+        let x = st.reconstruct().map_err(|e| e.to_string())?;
+        match &range {
+            Some(spec) => {
+                let r = Range::parse(spec, x.shape()).map_err(|e| e.to_string())?;
+                x.subtensor(r.bounds()).map_err(|e| e.to_string())?
+            }
+            None => x,
         }
     };
-    if let Err(e) = io::save(&x, &out) {
-        return fail(&e.to_string());
-    }
+    io::save(&x, &out).map_err(|e| e.to_string())?;
     println!(
         "wrote {out}: {:?}, {:.1} MB, reconstructed in {:.2}s",
         x.shape(),
         x.numel() as f64 * 8.0 / 1e6,
         t0.elapsed().as_secs_f64()
     );
-    ExitCode::SUCCESS
+    Ok(())
+}
+
+fn cmd_query(args: &[String]) -> ExitCode {
+    match try_query(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => fail(&e),
+    }
+}
+
+/// `--verify` tolerance: the engine and the naive oracle sum in different
+/// orders, so equality is up to rounding (scaled by the data magnitude).
+const VERIFY_TOL: f64 = 1e-8;
+
+fn check_close(spec: &str, got: &DenseTensor, want: &DenseTensor) -> Result<(), String> {
+    let scale = 1.0 + want.max_abs();
+    for (a, b) in got.as_slice().iter().zip(want.as_slice()) {
+        if (a - b).abs() > VERIFY_TOL * scale {
+            return Err(format!("verify failed for '{spec}': {a} vs naive {b}"));
+        }
+    }
+    Ok(())
+}
+
+fn check_close_scalar(spec: &str, got: f64, want: f64, scale: f64) -> Result<(), String> {
+    if (got - want).abs() > VERIFY_TOL * (1.0 + scale) {
+        return Err(format!("verify failed for '{spec}': {got} vs naive {want}"));
+    }
+    Ok(())
+}
+
+/// Serves element/range/batch queries from a decomposition artifact.
+fn try_query(args: &[String]) -> Result<(), String> {
+    let decomp_path = opt(args, "decomp").ok_or("--decomp is required")?;
+    let cache_mb: usize = match opt(args, "cache-mb") {
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--cache-mb '{v}' is not a number"))?,
+        None => 64,
+    };
+    let agg = opt(args, "agg");
+    if let Some(a) = &agg {
+        if !matches!(a.as_str(), "sum" | "mean" | "fro") {
+            return Err(format!("unknown --agg '{a}' (expected sum|mean|fro)"));
+        }
+    }
+    let verify = args.iter().any(|a| a == "--verify");
+    let profile = args.iter().any(|a| a == "--profile");
+    let at = opt(args, "at");
+    let range = opt(args, "range");
+    let use_stdin = args.iter().any(|a| a == "--stdin");
+    if [at.is_some(), range.is_some(), use_stdin]
+        .iter()
+        .filter(|&&b| b)
+        .count()
+        != 1
+    {
+        return Err("exactly one of --at / --range / --stdin is required".into());
+    }
+
+    let mut engine = QueryEngine::open_with_cache_bytes(&decomp_path, cache_mb << 20)
+        .map_err(|e| e.to_string())?;
+    let shape = engine.shape().to_vec();
+
+    // `--at i,j,k` is exactly the 1-element range spec `i,j,k`.
+    let specs: Vec<String> = if let Some(idx) = at {
+        vec![idx]
+    } else if let Some(spec) = range {
+        vec![spec]
+    } else {
+        use std::io::BufRead;
+        let mut lines = Vec::new();
+        for line in std::io::stdin().lock().lines() {
+            let line = line.map_err(|e| e.to_string())?;
+            let line = line.trim();
+            if !line.is_empty() {
+                lines.push(line.to_string());
+            }
+        }
+        lines
+    };
+    let ranges: Vec<Range> = specs
+        .iter()
+        .map(|s| Range::parse(s, &shape).map_err(|e| e.to_string()))
+        .collect::<Result<_, _>>()?;
+
+    // The oracle for --verify: materialize once, slice per query.
+    let naive = if verify {
+        Some(engine.decomp().reconstruct().map_err(|e| e.to_string())?)
+    } else {
+        None
+    };
+
+    let t0 = Instant::now();
+    match agg.as_deref() {
+        Some(kind) => {
+            for (spec, r) in specs.iter().zip(&ranges) {
+                let v = match kind {
+                    "sum" => engine.sum(r),
+                    "mean" => engine.mean(r),
+                    _ => engine.fro_norm(r),
+                }
+                .map_err(|e| e.to_string())?;
+                if let Some(full) = &naive {
+                    let sub = full.subtensor(r.bounds()).map_err(|e| e.to_string())?;
+                    let mass: f64 = sub.as_slice().iter().map(|x| x.abs()).sum();
+                    let want = match kind {
+                        "sum" => sub.as_slice().iter().sum::<f64>(),
+                        "mean" => sub.as_slice().iter().sum::<f64>() / sub.numel() as f64,
+                        _ => sub.fro_norm(),
+                    };
+                    check_close_scalar(spec, v, want, mass)?;
+                }
+                println!("{spec} {kind} = {v:.12e}");
+            }
+        }
+        None => {
+            let out_path = opt(args, "out");
+            if out_path.is_some() && ranges.len() != 1 {
+                return Err("--out requires exactly one query".into());
+            }
+            let results = engine.query_batch(&ranges).map_err(|e| e.to_string())?;
+            for ((spec, r), t) in specs.iter().zip(&ranges).zip(&results) {
+                if let Some(full) = &naive {
+                    let sub = full.subtensor(r.bounds()).map_err(|e| e.to_string())?;
+                    check_close(spec, t, &sub)?;
+                }
+                if r.numel() == 1 {
+                    println!("{spec} = {:.12e}", t.as_slice()[0]);
+                } else {
+                    println!(
+                        "{spec}  shape {:?}  ‖·‖_F = {:.6e}",
+                        t.shape(),
+                        t.fro_norm()
+                    );
+                }
+            }
+            if let Some(path) = out_path {
+                io::save(&results[0], &path).map_err(|e| e.to_string())?;
+                println!("wrote {path}");
+            }
+        }
+    }
+    let elapsed = t0.elapsed();
+    if verify {
+        println!(
+            "verify      OK: {} answer(s) match naive reconstruction",
+            specs.len()
+        );
+    }
+    if profile {
+        println!(
+            "served      {} quer{} in {:.4}s",
+            specs.len(),
+            if specs.len() == 1 { "y" } else { "ies" },
+            elapsed.as_secs_f64()
+        );
+        println!("{}", engine.profile().report());
+        let s = engine.cache_stats();
+        println!(
+            "cache       {} hits / {} misses ({:.0}% hit rate), {} insertions, {} evictions",
+            s.hits,
+            s.misses,
+            100.0 * s.hit_rate(),
+            s.insertions,
+            s.evictions
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtucker::tensor::random::random_tucker;
+    use dtucker::TuckerDecomp;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::path::PathBuf;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    /// Writes a small decomposition artifact and returns its path plus the
+    /// naively-reconstructed tensor.
+    fn artifact(name: &str) -> (PathBuf, DenseTensor) {
+        let dir = std::env::temp_dir().join("dtucker_cli_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("{name}_{}.dts", std::process::id()));
+        let mut rng = StdRng::seed_from_u64(11);
+        let m = random_tucker(&[6, 5, 4], &[2, 2, 2], &mut rng).unwrap();
+        let d = TuckerDecomp {
+            core: m.core,
+            factors: m.factors,
+        };
+        let full = d.reconstruct().unwrap();
+        store::write_decomposition(&path, &d).unwrap();
+        (path, full)
+    }
+
+    #[test]
+    fn reconstruct_rejects_bad_arguments() {
+        let (path, _) = artifact("recon_args");
+        let p = path.to_str().unwrap();
+        let out = std::env::temp_dir().join("dtucker_cli_tests/never_written.dten");
+        let o = out.to_str().unwrap();
+        // Missing --out.
+        assert!(try_reconstruct(&argv(&["reconstruct", "--decomp", p])).is_err());
+        // Neither / both sources.
+        assert!(try_reconstruct(&argv(&["reconstruct", "--out", o])).is_err());
+        assert!(try_reconstruct(&argv(&[
+            "reconstruct",
+            "--decomp",
+            p,
+            "--sliced",
+            p,
+            "--out",
+            o
+        ]))
+        .is_err());
+        // Out-of-bounds and malformed ranges: typed errors, no artifact.
+        let e = try_reconstruct(&argv(&[
+            "reconstruct",
+            "--decomp",
+            p,
+            "--out",
+            o,
+            "--range",
+            "0:99,:,:",
+        ]))
+        .unwrap_err();
+        assert!(e.contains("exceeds"), "{e}");
+        let e = try_reconstruct(&argv(&[
+            "reconstruct",
+            "--decomp",
+            p,
+            "--out",
+            o,
+            "--range",
+            "0:2,:",
+        ]))
+        .unwrap_err();
+        assert!(e.contains("modes"), "{e}");
+        assert!(try_reconstruct(&argv(&[
+            "reconstruct",
+            "--decomp",
+            p,
+            "--out",
+            o,
+            "--range",
+            "x,:,:",
+        ]))
+        .is_err());
+        assert!(!out.exists(), "failed reconstruct must not leave output");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn reconstruct_range_matches_naive_slice() {
+        let (path, full) = artifact("recon_range");
+        let p = path.to_str().unwrap();
+        let out = std::env::temp_dir().join(format!(
+            "dtucker_cli_tests/range_{}.dten",
+            std::process::id()
+        ));
+        let o = out.to_str().unwrap();
+        try_reconstruct(&argv(&[
+            "reconstruct",
+            "--decomp",
+            p,
+            "--out",
+            o,
+            "--range",
+            "1:4,2,:",
+        ]))
+        .unwrap();
+        let got = io::load(o).unwrap();
+        let want = full.subtensor(&[(1, 4), (2, 3), (0, 4)]).unwrap();
+        assert_eq!(got.shape(), want.shape());
+        for (a, b) in got.as_slice().iter().zip(want.as_slice()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&out).ok();
+    }
+
+    #[test]
+    fn query_rejects_bad_arguments() {
+        let (path, _) = artifact("query_args");
+        let p = path.to_str().unwrap();
+        assert!(try_query(&argv(&["query", "--at", "0,0,0"])).is_err());
+        // Zero or two selectors.
+        assert!(try_query(&argv(&["query", "--decomp", p])).is_err());
+        assert!(try_query(&argv(&[
+            "query", "--decomp", p, "--at", "0,0,0", "--range", ":,:,:",
+        ]))
+        .is_err());
+        // Bad aggregate, bad cache size, out-of-bounds element.
+        assert!(try_query(&argv(&[
+            "query", "--decomp", p, "--range", ":,:,:", "--agg", "median",
+        ]))
+        .is_err());
+        assert!(try_query(&argv(&[
+            "query",
+            "--decomp",
+            p,
+            "--at",
+            "0,0,0",
+            "--cache-mb",
+            "lots",
+        ]))
+        .is_err());
+        let e = try_query(&argv(&["query", "--decomp", p, "--at", "6,0,0"])).unwrap_err();
+        assert!(e.contains("exceeds"), "{e}");
+        // Missing artifact surfaces the store error.
+        assert!(try_query(&argv(&[
+            "query",
+            "--decomp",
+            "/no/such.dts",
+            "--at",
+            "0,0,0"
+        ]))
+        .is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn query_serves_and_verifies() {
+        let (path, full) = artifact("query_ok");
+        let p = path.to_str().unwrap();
+        // Element, range (+ --out), and aggregates, all under --verify so
+        // every answer is checked against the naive oracle.
+        try_query(&argv(&[
+            "query", "--decomp", p, "--at", "3,2,1", "--verify",
+        ]))
+        .unwrap();
+        let out = std::env::temp_dir().join(format!(
+            "dtucker_cli_tests/qbox_{}.dten",
+            std::process::id()
+        ));
+        let o = out.to_str().unwrap();
+        try_query(&argv(&[
+            "query",
+            "--decomp",
+            p,
+            "--range",
+            "0:3,1:5,2",
+            "--verify",
+            "--profile",
+            "--out",
+            o,
+        ]))
+        .unwrap();
+        let got = io::load(o).unwrap();
+        let want = full.subtensor(&[(0, 3), (1, 5), (2, 3)]).unwrap();
+        for (a, b) in got.as_slice().iter().zip(want.as_slice()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+        for agg in ["sum", "mean", "fro"] {
+            try_query(&argv(&[
+                "query",
+                "--decomp",
+                p,
+                "--range",
+                "1:6,:,0:2",
+                "--agg",
+                agg,
+                "--verify",
+            ]))
+            .unwrap();
+        }
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&out).ok();
+    }
 }

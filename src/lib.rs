@@ -23,6 +23,8 @@ pub use dtucker_core as core;
 pub use dtucker_data as data;
 /// Dense linear algebra substrate (matrices, GEMM, QR, SVD, eigen, rSVD).
 pub use dtucker_linalg as linalg;
+/// Factored reconstruction queries against stored decompositions.
+pub use dtucker_query as query;
 /// Sketching substrate (FFT, CountSketch, TensorSketch).
 pub use dtucker_sketch as sketch;
 /// Out-of-core slice sourcing and persistent artifacts (checkpoint/resume).
@@ -36,5 +38,6 @@ pub use dtucker_core::{
     SweepState, SyntheticSource, TuckerDecomp,
 };
 pub use dtucker_linalg::Matrix;
+pub use dtucker_query::{QueryEngine, Range};
 pub use dtucker_store::{ArtifactStore, DtenSliceSource, HooiCheckpoint};
 pub use dtucker_tensor::DenseTensor;

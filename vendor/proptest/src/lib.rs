@@ -117,6 +117,63 @@ tuple_strategy! {
     (A.0, B.1, C.2, D.3, E.4, F.5)
 }
 
+/// Strategy producing exactly its value (upstream `Just`).
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// A vector of strategies generates element-wise (upstream behaviour);
+/// this is what lets per-mode strategies compose into a shape strategy.
+impl<S: Strategy> Strategy for Vec<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        self.iter().map(|s| s.generate(rng)).collect()
+    }
+}
+
+/// Uniform choice among boxed strategies — the expansion of
+/// [`prop_oneof!`]. Upstream supports weights; this stand-in picks each
+/// arm with equal probability.
+pub struct Union<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// A union over `options` (must be non-empty).
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!options.is_empty(), "empty prop_oneof!");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        let i = rng.gen_range(0..self.options.len());
+        self.options[i].generate(rng)
+    }
+}
+
+/// Chooses uniformly among the listed strategies (all producing the same
+/// value type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $(Box::new($s) as Box<dyn $crate::Strategy<Value = _>>),+
+        ])
+    };
+}
+
 /// Types with a canonical "anything" strategy (see [`any`]).
 pub trait Arbitrary {
     /// Draws an unconstrained value.
@@ -257,8 +314,8 @@ pub fn test_rng(test_name: &str, case: u32) -> StdRng {
 
 /// The usual glob import (`use proptest::prelude::*`).
 pub mod prelude {
-    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest};
-    pub use crate::{Arbitrary, ProptestConfig, Strategy};
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+    pub use crate::{Arbitrary, Just, ProptestConfig, Strategy};
 }
 
 /// Asserts a condition inside a property test (plain `assert!` here).
@@ -345,6 +402,25 @@ mod tests {
         ) {
             prop_assert!(k < 16);
             let _ = (seed, flag);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn just_vec_and_oneof_compose(
+            (fixed, picks) in (1usize..=4).prop_flat_map(|n| {
+                let per_item: Vec<_> = (0..n)
+                    .map(|i| prop_oneof![Just(i), 0usize..i + 1, Just(99usize)])
+                    .collect();
+                (Just(n), per_item)
+            })
+        ) {
+            prop_assert_eq!(picks.len(), fixed);
+            for (i, &p) in picks.iter().enumerate() {
+                prop_assert!(p <= i || p == 99usize, "arm values only");
+            }
         }
     }
 
