@@ -3,7 +3,7 @@
 
 use crate::common::{fit_indicator, random_factors, validate_ranks, MethodOutput};
 use crate::hosvd::hosvd_factors;
-use dtucker_core::error::Result;
+use dtucker_core::error::{CoreError, Result};
 use dtucker_core::trace::ConvergenceTrace;
 use dtucker_core::tucker::TuckerDecomp;
 use dtucker_linalg::svd::leading_left_singular_vectors;
@@ -70,13 +70,17 @@ pub fn hooi(x: &DenseTensor, cfg: &HooiConfig) -> Result<MethodOutput> {
                 core = Some(ttm_t(&y, &factors[n], n)?);
             }
         }
-        let g = core.as_ref().expect("core computed in final mode update");
+        let g = core.as_ref().ok_or_else(|| CoreError::Internal {
+            details: "HOOI sweep finished without computing a core".into(),
+        })?;
         let fit = fit_indicator(norm_x_sq, g.fro_norm_sq());
         if trace.record(fit, cfg.tolerance) {
             break;
         }
     }
-    let core = core.expect("at least one sweep runs");
+    let core = core.ok_or_else(|| CoreError::Internal {
+        details: "HOOI ran zero sweeps".into(),
+    })?;
     Ok(MethodOutput {
         decomposition: TuckerDecomp { core, factors },
         trace,

@@ -15,15 +15,23 @@
 //! `dtucker_core::TuckerDecomp` plus its convergence trace, so the
 //! experiment harness can treat all methods uniformly.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![allow(clippy::needless_range_loop)]
 
+/// Shared helpers: rank validation, random factors, `MethodOutput`.
 pub mod common;
+/// Tucker-ALS (HOOI), the reference baseline.
 pub mod hooi;
+/// Truncated higher-order SVD (one-pass, no iteration).
 pub mod hosvd;
+/// MACH: randomized entry sparsification + sparse HOOI.
 pub mod mach;
+/// Randomized Tucker via per-mode sketched range finders.
 pub mod rtd;
+/// Tucker-ts: TensorSketch-accelerated ALS.
 pub mod tucker_ts;
+/// Tucker-ttmts: the cheaper sketched-TTM-chain variant.
 pub mod tucker_ttmts;
 
 pub use common::MethodOutput;

@@ -81,7 +81,11 @@ pub fn hooi_on_sample(sample: &SparseTensor, cfg: &MachConfig) -> Result<MethodO
         for n in 0..n_modes {
             // Contract one mode sparsely (pick the first k ≠ n), the rest
             // densely on the already-small intermediate.
-            let first = (0..n_modes).find(|&k| k != n).expect("order ≥ 2");
+            let first = (0..n_modes)
+                .find(|&k| k != n)
+                .ok_or_else(|| CoreError::InvalidConfig {
+                    details: "MACH requires an order ≥ 2 tensor".into(),
+                })?;
             let mut y = sample.ttm_t(&factors[first], first)?;
             for k in 0..n_modes {
                 if k != n && k != first {
@@ -93,13 +97,17 @@ pub fn hooi_on_sample(sample: &SparseTensor, cfg: &MachConfig) -> Result<MethodO
                 core = Some(ttm_t(&y, &factors[n], n)?);
             }
         }
-        let g = core.as_ref().expect("core computed");
+        let g = core.as_ref().ok_or_else(|| CoreError::Internal {
+            details: "MACH sweep finished without computing a core".into(),
+        })?;
         let fit = fit_indicator(norm_sq, g.fro_norm_sq());
         if trace.record(fit, cfg.tolerance) {
             break;
         }
     }
-    let core = core.expect("at least one sweep");
+    let core = core.ok_or_else(|| CoreError::Internal {
+        details: "MACH ran zero sweeps".into(),
+    })?;
     Ok(MethodOutput {
         decomposition: TuckerDecomp { core, factors },
         trace,

@@ -9,7 +9,7 @@
 
 use crate::common::{random_factors, validate_ranks, MethodOutput};
 use crate::tucker_ts::{preprocess, SketchedTensor, TuckerTsConfig};
-use dtucker_core::error::Result;
+use dtucker_core::error::{CoreError, Result};
 use dtucker_core::trace::ConvergenceTrace;
 use dtucker_core::tucker::TuckerDecomp;
 use dtucker_linalg::gemm::matmul;
@@ -61,7 +61,9 @@ pub fn tucker_ttmts_sketched(skt: &SketchedTensor, cfg: &TuckerTsConfig) -> Resu
             break;
         }
     }
-    let core = core.expect("at least one sweep");
+    let core = core.ok_or_else(|| CoreError::Internal {
+        details: "Tucker-ttmts ran zero sweeps".into(),
+    })?;
     Ok(MethodOutput {
         decomposition: TuckerDecomp { core, factors },
         trace,

@@ -178,5 +178,5 @@ fn write_json(
         ));
     }
     s.push_str("  ]\n}\n");
-    std::fs::write(path, s).expect("writing BENCH_outofcore.json");
+    dtucker_core::fsutil::atomic_write_str(path, &s).expect("writing BENCH_outofcore.json");
 }

@@ -170,5 +170,5 @@ fn write_json(
         ));
     }
     s.push_str("  ]\n}\n");
-    std::fs::write(path, s).expect("writing BENCH_streaming.json");
+    dtucker_core::fsutil::atomic_write_str(path, &s).expect("writing BENCH_streaming.json");
 }

@@ -5,6 +5,7 @@
 //! index); this library holds the shared runner, timing, and table-printing
 //! plumbing.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use dtucker_baselines::{
@@ -293,7 +294,7 @@ impl Table {
                 out.push_str(&row.join(","));
                 out.push('\n');
             }
-            if let Err(e) = std::fs::write(path, out) {
+            if let Err(e) = dtucker_core::fsutil::atomic_write_str(path, &out) {
                 eprintln!("warning: could not write {}: {e}", path.display());
             } else {
                 println!("(csv mirrored to {})", path.display());

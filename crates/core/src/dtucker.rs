@@ -1,7 +1,7 @@
 //! The D-Tucker front door: approximation → initialization → iteration.
 
 use crate::config::DTuckerConfig;
-use crate::error::Result;
+use crate::error::{CoreError, Result};
 use crate::init::initialize_threaded;
 use crate::iterate::{iterate, iterate_from, SweepHook, SweepState};
 use crate::slices::SlicedTensor;
@@ -308,7 +308,9 @@ pub fn decompose_to_target_error(
             break;
         }
     }
-    Ok(best.expect("candidates is non-empty"))
+    best.ok_or_else(|| CoreError::Internal {
+        details: "rank search produced no candidates".into(),
+    })
 }
 
 /// Maps internal-order factors and core back to the original mode order.

@@ -16,6 +16,13 @@ pub enum CoreError {
     Tensor(TensorError),
     /// An underlying linear-algebra routine failed.
     Linalg(LinalgError),
+    /// An internal invariant was violated; this indicates a bug in
+    /// dtucker itself, not bad input. Reported as an error instead of a
+    /// panic so library callers never abort.
+    Internal {
+        /// Description of the broken invariant.
+        details: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -24,6 +31,9 @@ impl fmt::Display for CoreError {
             CoreError::InvalidConfig { details } => write!(f, "invalid configuration: {details}"),
             CoreError::Tensor(e) => write!(f, "tensor error: {e}"),
             CoreError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+            CoreError::Internal { details } => {
+                write!(f, "internal invariant violated (please report): {details}")
+            }
         }
     }
 }

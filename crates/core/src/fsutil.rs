@@ -1,0 +1,35 @@
+//! Crash-atomic file writing, shared by every writer in the workspace.
+//!
+//! This module is the canonical import path for the temp + fsync + rename
+//! pattern: the store's artifact writers, the CLI, and the `exp_*` bench
+//! binaries all write through here, and the `atomic-write-required` lint
+//! rule rejects raw `File::create` / `fs::write` anywhere else. The
+//! implementation lives in [`dtucker_tensor::io`] (the lowest crate that
+//! touches the filesystem — `dtucker-core` sits above it in the dependency
+//! graph, so the helper is re-exported rather than duplicated).
+
+use std::path::Path;
+
+pub use dtucker_tensor::io::atomic_write;
+
+/// [`atomic_write`] for text payloads (JSON reports, CSV result tables).
+pub fn atomic_write_str(path: impl AsRef<Path>, text: &str) -> std::io::Result<()> {
+    atomic_write(path, text.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn str_writer_round_trips() {
+        let dir = std::env::temp_dir().join("dtucker-fsutil-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("report.json");
+        atomic_write_str(&path, "{\"ok\":true}").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"ok\":true}");
+        atomic_write_str(&path, "v2").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "v2");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

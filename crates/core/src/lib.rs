@@ -35,19 +35,33 @@
 //! );
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![allow(clippy::needless_range_loop)]
 
+/// Decomposition configuration (`DTuckerConfig`) and per-phase knobs.
 pub mod config;
+/// The three-phase D-Tucker orchestrator.
 pub mod dtucker;
+/// Typed errors shared by every core phase.
 pub mod error;
+/// Crash-atomic file writing shared by store, CLI, and bench writers.
+pub mod fsutil;
+/// Phase 2: factor initialization from the slice SVDs.
 pub mod init;
+/// Phase 3: HOOI-style iteration evaluated through the slice factors.
 pub mod iterate;
+/// Per-phase timing/error profiles and anomaly helpers.
 pub mod profile;
+/// Phase 1: frontal-slice randomized-SVD approximation.
 pub mod slices;
+/// `SliceSource` out-of-core sourcing abstractions.
 pub mod source;
+/// Streaming D-Tucker for temporally growing tensors.
 pub mod streaming;
+/// Convergence traces recorded during iteration.
 pub mod trace;
+/// The Tucker decomposition container and reconstruction helpers.
 pub mod tucker;
 
 pub use config::{DTuckerConfig, SliceSvdKind};

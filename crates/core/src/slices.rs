@@ -380,7 +380,7 @@ impl SlicedTensor {
     /// one; `block` must match the original shape in every other mode.
     pub fn append_block(&mut self, block: &DenseTensor, cfg: &DTuckerConfig) -> Result<()> {
         let n = self.shape.len();
-        if *self.perm.last().expect("non-empty perm") != n - 1 {
+        if self.perm.last() != Some(&(n - 1)) {
             return Err(CoreError::InvalidConfig {
                 details: "append_block requires a compress_keep_last layout".into(),
             });

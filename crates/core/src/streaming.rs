@@ -93,7 +93,13 @@ impl DTuckerStream {
         let ranks_int = internal_ranks(&self.cfg, self.sliced.perm());
         let temporal = self.factors_int.len() - 1;
         let mut factors = std::mem::take(&mut self.factors_int);
-        let new_rows = *self.sliced.shape().last().expect("non-empty shape");
+        let new_rows = *self
+            .sliced
+            .shape()
+            .last()
+            .ok_or_else(|| CoreError::Internal {
+                details: "streaming state has an empty shape".into(),
+            })?;
         let old = &factors[temporal];
         let mut grown = Matrix::zeros(new_rows, old.cols());
         for r in 0..old.rows().min(new_rows) {
@@ -129,7 +135,7 @@ impl DTuckerStream {
 
     /// Length of the temporal mode seen so far.
     pub fn timesteps(&self) -> usize {
-        *self.sliced.shape().last().expect("non-empty shape")
+        self.sliced.shape().last().copied().unwrap_or(0)
     }
 
     /// Trace of the most recent refresh.

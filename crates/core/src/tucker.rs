@@ -121,8 +121,7 @@ impl TuckerDecomp {
         }
         // Contract the last mode with row t first (shrinks to size 1), then
         // expand the remaining modes.
-        let row = Matrix::from_vec(1, last.cols(), last.row(t).to_vec())
-            .expect("row has exactly cols elements");
+        let row = Matrix::from_vec(1, last.cols(), last.row(t).to_vec())?;
         let mut cur = ttm(&self.core, &row, n - 1)?;
         for mode in 0..n - 1 {
             cur = ttm(&cur, &self.factors[mode], mode)?;

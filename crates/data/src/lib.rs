@@ -14,16 +14,25 @@
 //! * [`registry`] — named presets at CI / bench / paper scales;
 //! * [`synthetic`] — the shared separable-sum building blocks.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![allow(clippy::needless_range_loop)]
 
+/// Air-quality surrogate (diurnal pollutant fields).
 pub mod airquality;
+/// Climate surrogate (seasonal temperature fields).
 pub mod climate;
+/// Hyperspectral-image surrogate (smooth spectral mixtures).
 pub mod hsi;
+/// Dataset registry: names, scales, shapes, generation.
 pub mod registry;
+/// Stock-price surrogate (correlated random walks).
 pub mod stock;
+/// Shared separable-sum synthetic building blocks.
 pub mod synthetic;
+/// Traffic-volume surrogate (rush-hour periodicities).
 pub mod traffic;
+/// Video surrogate (moving blobs over static background).
 pub mod video;
 
 pub use registry::{generate, parse_scale, shape_of, Dataset, Scale};

@@ -164,9 +164,14 @@ fn kernel(
     mr: usize,
 ) {
     let mut acc = [[0.0f64; NR]; MR];
+    // `as_chunks` reinterprets the packed buffers as fixed-size
+    // `[f64; NR]`/`[f64; MR]` windows, keeping the inner loops branch-free
+    // with no fallible conversion.
+    let (bchunks, _) = panel.as_chunks::<NR>();
+    let (achunks, _) = abuf.as_chunks::<MR>();
     for kk in 0..kl {
-        let b: &[f64; NR] = panel[kk * NR..kk * NR + NR].try_into().unwrap();
-        let a: &[f64; MR] = abuf[kk * MR..kk * MR + MR].try_into().unwrap();
+        let b = &bchunks[kk];
+        let a = &achunks[kk];
         for r in 0..MR {
             let ar = a[r];
             for j in 0..NR {

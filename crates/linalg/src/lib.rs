@@ -33,27 +33,45 @@
 //! assert_eq!(gram.shape(), (3, 3));
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 // Numerical kernels index several arrays with one loop counter; iterator
 // rewrites would obscure the textbook algorithms without changing codegen.
 #![allow(clippy::needless_range_loop)]
 
+/// Cholesky factorization and SPD solves.
 pub mod cholesky;
+/// Symmetric eigendecomposition (tridiagonal QL).
 pub mod eig;
+/// Typed linear-algebra errors.
 pub mod error;
+/// Cache-blocked, packed, multi-threaded GEMM.
 pub mod gemm;
+/// Kronecker products and structured multiplies.
 pub mod kron;
+/// Partially pivoted LU factorization and solves.
 pub mod lu;
+/// The dense row-major `Matrix` type.
 pub mod matrix;
+/// Frobenius/spectral norms and stable accumulators.
 pub mod norms;
+/// Elementwise matrix arithmetic and operator overloads.
 pub mod ops;
+/// The shared worker pool driving all parallel kernels.
 pub mod pool;
+/// Householder QR factorization.
 pub mod qr;
+/// Column-pivoted QR (rank-revealing).
 pub mod qrcp;
+/// Seeded Gaussian test/sketch matrices.
 pub mod random;
+/// Randomized SVD (range finder + small SVD).
 pub mod rsvd;
+/// CSR sparse matrices and sparse-dense products.
 pub mod sparse;
+/// One-sided Jacobi SVD and truncated variants.
 pub mod svd;
+/// Golub–Reinsch bidiagonal SVD.
 pub mod svd_gr;
 
 pub use error::{LinalgError, Result};

@@ -128,8 +128,15 @@ pub fn spectral_norm_est(a: &crate::matrix::Matrix, iters: usize) -> f64 {
     let mut v = vec![1.0f64; n];
     let mut sigma = 0.0f64;
     for it in 0..iters.max(1) {
-        let av = a.matvec(&v).expect("length checked");
-        let atav = a.t_matvec(&av).expect("length checked");
+        // `v` is constructed with length `n` and `av` with length `m`, so
+        // these cannot mismatch; if the invariant ever broke, the best
+        // available estimate is returned rather than panicking.
+        let Ok(av) = a.matvec(&v) else {
+            return sigma;
+        };
+        let Ok(atav) = a.t_matvec(&av) else {
+            return sigma;
+        };
         let norm = fro_norm(&atav);
         if norm == 0.0 {
             // Restart from a basis vector in case the start was unlucky.

@@ -12,6 +12,10 @@ use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
 impl Add for &Matrix {
     type Output = Matrix;
     fn add(self, rhs: &Matrix) -> Matrix {
+        // `std::ops` signatures cannot return Result; panicking on shape
+        // mismatch is this module's documented contract (see the module
+        // docs), identical to slice indexing.
+        // dtucker-lint: allow(no-unwrap-in-lib)
         Matrix::add(self, rhs).expect("matrix addition shape mismatch")
     }
 }
@@ -19,6 +23,8 @@ impl Add for &Matrix {
 impl Sub for &Matrix {
     type Output = Matrix;
     fn sub(self, rhs: &Matrix) -> Matrix {
+        // Same documented panic-on-mismatch contract as `Add` above.
+        // dtucker-lint: allow(no-unwrap-in-lib)
         Matrix::sub(self, rhs).expect("matrix subtraction shape mismatch")
     }
 }

@@ -33,7 +33,16 @@
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+
+/// Locks `m`, recovering from poisoning. The pool must stay usable after a
+/// job panics (that is a documented feature, pinned by
+/// `panic_propagates_and_pool_survives`), and every structure guarded here
+/// (the task queue, the completion flag) is valid after any partial
+/// update, so the poison flag carries no information for us.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// Default for [`par_flop_threshold`]: products below ~8.4 Mflop run
 /// serial.
@@ -124,7 +133,12 @@ pub fn threads_for_flops(flops: usize) -> usize {
 /// never touch a task after claiming a chunk index `>= nchunks`.
 struct Job(*const (dyn Fn(usize) + Sync));
 
+// SAFETY: the pointee is `Sync` (the pointer type says so) and outlives
+// every dereference — see the struct docs: `run` keeps the closure alive
+// until all chunks are done, and workers never touch an exhausted task.
 unsafe impl Send for Job {}
+// SAFETY: same argument as `Send` above; shared references to the closure
+// are handed to workers only while `run` holds it alive.
 unsafe impl Sync for Job {}
 
 /// One parallel region: a job closure plus chunk-claiming state.
@@ -164,6 +178,9 @@ impl Task {
             if idx >= self.nchunks {
                 return;
             }
+            // SAFETY: `idx < nchunks` here, so the submitting `run` is
+            // still blocked in `wait` and the closure behind the pointer
+            // is alive (see `Job`).
             let f = unsafe { &*self.job.0 };
             if catch_unwind(AssertUnwindSafe(|| f(idx))).is_err() {
                 self.panicked.store(true, Ordering::Release);
@@ -171,16 +188,19 @@ impl Task {
             // AcqRel chains each finisher's writes to the last finisher,
             // whose mutex store hands them to the waiting submitter.
             if self.done.fetch_add(1, Ordering::AcqRel) + 1 == self.nchunks {
-                *self.complete.lock().unwrap() = true;
+                *lock_recover(&self.complete) = true;
                 self.cv.notify_all();
             }
         }
     }
 
     fn wait(&self) {
-        let mut g = self.complete.lock().unwrap();
+        let mut g = lock_recover(&self.complete);
         while !*g {
-            g = self.cv.wait(g).unwrap();
+            g = self
+                .cv
+                .wait(g)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
     }
 }
@@ -210,7 +230,7 @@ fn worker_loop() {
     let p = pool();
     loop {
         let task = {
-            let mut st = p.state.lock().unwrap();
+            let mut st = lock_recover(&p.state);
             loop {
                 while st.queue.front().is_some_and(|t| t.exhausted()) {
                     st.queue.pop_front();
@@ -218,7 +238,10 @@ fn worker_loop() {
                 if let Some(t) = st.queue.front() {
                     break Arc::clone(t);
                 }
-                st = p.work_cv.wait(st).unwrap();
+                st = p
+                    .work_cv
+                    .wait(st)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
             }
         };
         task.participate();
@@ -228,7 +251,7 @@ fn worker_loop() {
 /// Number of worker threads currently alive (grows on demand; the
 /// submitting thread itself is not counted).
 pub fn spawned_workers() -> usize {
-    pool().state.lock().unwrap().workers
+    lock_recover(&pool().state).workers
 }
 
 /// Runs `job(0..nchunks)` across `nthreads` threads (the caller plus pool
@@ -247,20 +270,27 @@ pub fn run(nthreads: usize, nchunks: usize, job: &(dyn Fn(usize) + Sync)) {
         }
         return;
     }
-    // Erase the closure's lifetime; see `Job` for why this is sound.
+    // SAFETY: lifetime erasure only; this function does not return until
+    // `wait()` observes every chunk complete, so the `'static` reference
+    // never outlives the actual borrow (see `Job`).
     let job_static: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(job) };
     let task = Arc::new(Task::new(Job(job_static as *const _), nchunks));
     {
         let p = pool();
-        let mut st = p.state.lock().unwrap();
+        let mut st = lock_recover(&p.state);
         let want = nthreads - 1;
         while st.workers < want {
-            st.workers += 1;
-            let id = st.workers;
-            std::thread::Builder::new()
+            let id = st.workers + 1;
+            // Spawn failure (thread exhaustion) degrades to fewer workers
+            // instead of aborting: the submitting thread participates
+            // below, so the task always completes.
+            match std::thread::Builder::new()
                 .name(format!("dtucker-pool-{id}"))
                 .spawn(worker_loop)
-                .expect("failed to spawn pool worker");
+            {
+                Ok(_) => st.workers += 1,
+                Err(_) => break,
+            }
         }
         st.queue.push_back(Arc::clone(&task));
         p.work_cv.notify_all();
@@ -268,6 +298,10 @@ pub fn run(nthreads: usize, nchunks: usize, job: &(dyn Fn(usize) + Sync)) {
     task.participate();
     task.wait();
     if task.panicked.load(Ordering::Acquire) {
+        // Re-raising the collected panic is this function's documented
+        // contract (panics must not be swallowed); it is a propagation,
+        // not a new failure mode.
+        // dtucker-lint: allow(no-unwrap-in-lib)
         panic!("dtucker pool task panicked");
     }
 }
@@ -277,6 +311,9 @@ pub fn run(nthreads: usize, nchunks: usize, job: &(dyn Fn(usize) + Sync)) {
 #[derive(Clone, Copy)]
 struct SendPtr<T>(*mut T);
 
+// SAFETY: sharing the wrapper only shares the pointer *value*; every
+// dereference happens in `parallel_chunks`, whose chunks are disjoint by
+// construction, so no two threads ever alias the same elements.
 unsafe impl<T> Sync for SendPtr<T> {}
 
 impl<T> SendPtr<T> {
@@ -321,6 +358,11 @@ where
         }
         let start = b0 * granularity;
         let end = (b1 * granularity).min(len);
+        // SAFETY: `start..end` lies within `data` (b1 ≤ nblocks and both
+        // bounds are clamped to `len`), chunks for distinct `chunk`
+        // indices are disjoint, and `run` keeps `data` mutably borrowed
+        // until every chunk completes — so each sub-slice is a unique
+        // &mut into live memory.
         let sub = unsafe { std::slice::from_raw_parts_mut(ptr.add(start), end - start) };
         f(b0, sub);
     };
@@ -340,7 +382,12 @@ where
             *slot = Some(f(i0 + off));
         }
     });
+    // Every slot is written exactly once (`parallel_chunks` covers each
+    // index once — pinned by `chunks_cover_every_element_once`); a missing
+    // result is impossible, and silently dropping a slot would corrupt
+    // caller indexing, so this stays a hard invariant check.
     out.into_iter()
+        // dtucker-lint: allow(no-unwrap-in-lib)
         .map(|o| o.expect("parallel_map: missing result"))
         .collect()
 }

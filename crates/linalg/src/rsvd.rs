@@ -138,7 +138,11 @@ pub fn randomized_range_finder<R: Rng + ?Sized>(
 pub fn relative_error(a: &Matrix, d: &Svd) -> f64 {
     let us = crate::svd::scale_cols(&d.u, &d.s);
     let rec = matmul_t(&us, &d.v);
-    let diff = rec.sub(a).expect("shape mismatch in relative_error");
+    // `rec` reconstructs `a`'s exact shape; a mismatch means the SVD does
+    // not belong to `a`, and NaN is the honest answer for that.
+    let Ok(diff) = rec.sub(a) else {
+        return f64::NAN;
+    };
     let denom = a.fro_norm();
     if denom == 0.0 {
         0.0

@@ -66,7 +66,11 @@ impl CsrMatrix {
             for &i in span.iter() {
                 let (_, c, v) = triplets[i];
                 if c == last_col {
-                    *values.last_mut().expect("previous value exists") += v;
+                    // `last_col` starts at usize::MAX, so a match implies a
+                    // value was already pushed this row.
+                    if let Some(last) = values.last_mut() {
+                        *last += v;
+                    }
                 } else {
                     indices.push(c);
                     values.push(v);

@@ -169,3 +169,51 @@ proptest! {
         }
     }
 }
+
+/// Strategy: finite data with 1–3 non-finite values (NaN, ±∞) spliced in
+/// at pseudo-random positions.
+fn vec_with_nonfinite() -> impl Strategy<Value = Vec<f64>> {
+    (
+        proptest::collection::vec(-10.0f64..10.0, 1..48),
+        proptest::collection::vec(
+            prop_oneof![Just(f64::NAN), Just(f64::INFINITY), Just(f64::NEG_INFINITY)],
+            1..=3,
+        ),
+        any::<u64>(),
+    )
+        .prop_map(|(mut v, bad, seed)| {
+            for (k, b) in bad.into_iter().enumerate() {
+                let pos = (seed as usize).wrapping_add(k.wrapping_mul(7919)) % (v.len() + 1);
+                v.insert(pos, b);
+            }
+            v
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// A single NaN or ±∞ anywhere in the stream must surface as a
+    /// non-finite norm — the scaled accumulator must never launder it
+    /// into a finite number.
+    #[test]
+    fn fro_accumulator_propagates_nonfinite(v in vec_with_nonfinite(), chunk in 1usize..8) {
+        use dtucker_linalg::norms::FroNormAccumulator;
+        let mut acc = FroNormAccumulator::new();
+        for c in v.chunks(chunk) {
+            acc.push_slice(c);
+        }
+        prop_assert!(!acc.norm().is_finite(), "norm {} from {v:?}", acc.norm());
+        prop_assert!(!acc.norm_sq().is_finite());
+    }
+
+    /// Conversely, finite input keeps the accumulator finite even when
+    /// naive squaring would overflow.
+    #[test]
+    fn fro_accumulator_finite_on_finite(v in proptest::collection::vec(-1e200f64..1e200, 0..48)) {
+        use dtucker_linalg::norms::FroNormAccumulator;
+        let mut acc = FroNormAccumulator::new();
+        acc.push_slice(&v);
+        prop_assert!(acc.norm().is_finite(), "norm {} from {v:?}", acc.norm());
+    }
+}

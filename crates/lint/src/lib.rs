@@ -1,0 +1,34 @@
+//! # dtucker-lint
+//!
+//! Project-specific static analysis for the D-Tucker workspace: the rules
+//! `clippy` cannot express because they are *project* invariants, not
+//! language ones — every `unsafe` carries a SAFETY comment, library code
+//! never panics, file writers are crash-atomic, unchecked indexing stays
+//! in the GEMM kernels, lib.rs surfaces are documented, and floats are
+//! never compared with `==`.
+//!
+//! Run as `cargo run -p dtucker-lint -- check [--format json]`; CI treats
+//! any non-suppressed finding as a failure. Inline suppressions
+//! (`// dtucker-lint: allow(<rule>)`) form the allowlist and each one must
+//! be documented in DESIGN.md §11.
+//!
+//! The implementation is dependency-free by necessity (the build
+//! environment has no registry access): a hand-rolled lexer
+//! ([`lexer`]), a per-file token model ([`model`]), the six rules
+//! ([`rules`]), and the walk/render/fix driver ([`runner`]).
+
+#![forbid(unsafe_code)]
+
+/// Hand-rolled Rust lexer: comments, strings, lifetimes, int/float
+/// literals.
+pub mod lexer;
+/// File classification, `#[cfg(test)]` regions, inline suppressions.
+pub mod model;
+/// The six project rules and their diagnostics.
+pub mod rules;
+/// Filesystem walk, reporting, and the safety-stub rewriter.
+pub mod runner;
+
+pub use model::{FileClass, SourceFile};
+pub use rules::{check_file, Diagnostic, RULES};
+pub use runner::{check, fix_safety_stubs, Report};

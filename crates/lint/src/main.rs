@@ -1,0 +1,122 @@
+//! `dtucker-lint` command-line entry point.
+//!
+//! ```text
+//! dtucker-lint check [--root PATH] [--format text|json]
+//!                    [--fix-safety-stubs] [--list-suppressions]
+//! dtucker-lint rules
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use dtucker_lint::runner;
+
+struct Args {
+    root: PathBuf,
+    json: bool,
+    fix_safety_stubs: bool,
+    list_suppressions: bool,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: dtucker-lint check [--root PATH] [--format text|json] \
+         [--fix-safety-stubs] [--list-suppressions]\n       dtucker-lint rules"
+    );
+    ExitCode::from(2)
+}
+
+/// Locates the workspace root: walk up from the current directory to the
+/// first ancestor containing both `Cargo.toml` and `crates/`.
+fn default_root() -> PathBuf {
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let mut dir = cwd.clone();
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return dir;
+        }
+        if !dir.pop() {
+            return cwd;
+        }
+    }
+}
+
+fn parse_args(argv: &[String]) -> Option<Args> {
+    let mut args = Args {
+        root: default_root(),
+        json: false,
+        fix_safety_stubs: false,
+        list_suppressions: false,
+    };
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => args.root = PathBuf::from(it.next()?),
+            "--format" => match it.next()?.as_str() {
+                "json" => args.json = true,
+                "text" => args.json = false,
+                _ => return None,
+            },
+            "--fix-safety-stubs" => args.fix_safety_stubs = true,
+            "--list-suppressions" => args.list_suppressions = true,
+            _ => return None,
+        }
+    }
+    Some(args)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("rules") => {
+            print!("{}", runner::explain_rules());
+            ExitCode::SUCCESS
+        }
+        Some("check") => {
+            let Some(args) = parse_args(&argv[1..]) else {
+                return usage();
+            };
+            run_check(&args)
+        }
+        _ => usage(),
+    }
+}
+
+fn run_check(args: &Args) -> ExitCode {
+    let report = match runner::check(&args.root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!(
+                "dtucker-lint: scan failed under {}: {e}",
+                args.root.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+    if args.fix_safety_stubs {
+        match runner::fix_safety_stubs(&report) {
+            Ok(n) => eprintln!("dtucker-lint: inserted {n} SAFETY stub(s); re-run check"),
+            Err(e) => {
+                eprintln!("dtucker-lint: stub insertion failed: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if args.json {
+        println!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+    if args.list_suppressions {
+        for u in &report.suppressed {
+            println!("suppressed: {}:{}: {}", u.path, u.line, u.rule);
+        }
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,460 @@
+//! The six project rules. Each rule is a pure function from a modeled
+//! [`SourceFile`] to diagnostics; suppression filtering happens in the
+//! runner so suppressed findings can still be counted and audited.
+
+use crate::lexer::{float_text_is_zero, TokKind};
+use crate::model::{FileClass, SourceFile};
+
+/// One finding, pointing at a file, line, and column.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Rule name (kebab-case, stable — used in suppressions and JSON).
+    pub rule: &'static str,
+    /// Path relative to the scan root.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable explanation with the expected remedy.
+    pub message: String,
+}
+
+/// Static description of a rule, for `--explain` output and DESIGN.md.
+pub struct RuleInfo {
+    /// Stable kebab-case name.
+    pub name: &'static str,
+    /// One-line summary of what the rule enforces.
+    pub summary: &'static str,
+}
+
+/// Every rule this linter knows, in diagnostic-sort order.
+pub const RULES: [RuleInfo; 6] = [
+    RuleInfo {
+        name: "unsafe-needs-safety-comment",
+        summary: "every `unsafe` block, fn, or impl carries an attached `// SAFETY:` comment",
+    },
+    RuleInfo {
+        name: "no-unwrap-in-lib",
+        summary: "`unwrap()` / `expect()` / `panic!` are forbidden in non-test library code",
+    },
+    RuleInfo {
+        name: "atomic-write-required",
+        summary:
+            "`File::create` / `fs::write` must go through `dtucker_core::fsutil::atomic_write`",
+    },
+    RuleInfo {
+        name: "no-unchecked-index-in-kernels",
+        summary: "`get_unchecked` is confined to the linalg GEMM kernel modules",
+    },
+    RuleInfo {
+        name: "pub-fn-needs-doc",
+        summary: "exported items on `crates/*/src/lib.rs` surfaces carry doc comments",
+    },
+    RuleInfo {
+        name: "no-float-eq",
+        summary: "`==` / `!=` against non-zero float literals or f32/f64 constants outside tests",
+    },
+];
+
+/// Files where `get_unchecked` is tolerated (still under the SAFETY-comment
+/// rule): the register-tile GEMM kernels, where bounds checks measurably
+/// cost throughput.
+pub const UNCHECKED_ALLOWED_FILES: [&str; 1] = ["crates/linalg/src/gemm.rs"];
+
+/// True for names of f32/f64 associated constants whose comparison by `==`
+/// is a bug (`NAN` never equal) or a smell (`EPSILON` etc.).
+fn is_float_const(name: &str) -> bool {
+    matches!(
+        name,
+        "NAN" | "INFINITY" | "NEG_INFINITY" | "EPSILON" | "MIN_POSITIVE"
+    )
+}
+
+/// Runs every rule over one file.
+pub fn check_file(f: &SourceFile) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    rule_unsafe_safety_comment(f, &mut out);
+    rule_no_unwrap_in_lib(f, &mut out);
+    rule_atomic_write(f, &mut out);
+    rule_no_unchecked_index(f, &mut out);
+    rule_pub_needs_doc(f, &mut out);
+    rule_no_float_eq(f, &mut out);
+    out
+}
+
+fn diag(f: &SourceFile, rule: &'static str, i: usize, message: String) -> Diagnostic {
+    Diagnostic {
+        rule,
+        path: f.rel_path.clone(),
+        line: f.tokens[i].line,
+        col: f.tokens[i].col,
+        message,
+    }
+}
+
+/// Rule 1: every `unsafe` keyword (block, fn, impl, trait) must have a
+/// `SAFETY:` comment attached directly above (or trailing earlier on the
+/// same line). Applies to all files, tests included — unsound test code is
+/// still unsound.
+fn rule_unsafe_safety_comment(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+    for (i, t) in f.tokens.iter().enumerate() {
+        if t.kind != TokKind::Ident || t.text != "unsafe" {
+            continue;
+        }
+        let comments = f.attached_comments_above(i);
+        let has_safety = comments
+            .iter()
+            .any(|c| c.contains("SAFETY:") || c.contains("Safety:") || c.contains("# Safety"));
+        if !has_safety {
+            out.push(diag(
+                f,
+                "unsafe-needs-safety-comment",
+                i,
+                "`unsafe` without an attached `// SAFETY:` comment; document why every \
+                 precondition holds at this call site"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// Rule 2: no `unwrap()` / `expect()` / `panic!` in non-test library code.
+fn rule_no_unwrap_in_lib(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if f.class != FileClass::Lib {
+        return;
+    }
+    for (i, t) in f.tokens.iter().enumerate() {
+        if t.kind != TokKind::Ident || f.in_test_region(i) {
+            continue;
+        }
+        let prev_is_dot = f.prev_code(i).is_some_and(|j| f.tokens[j].text == ".");
+        let next_text = f.next_code(i).map(|j| f.tokens[j].text.as_str());
+        let bad = match t.text.as_str() {
+            "unwrap" | "expect" => prev_is_dot && next_text == Some("("),
+            "panic" => next_text == Some("!"),
+            _ => false,
+        };
+        if bad {
+            out.push(diag(
+                f,
+                "no-unwrap-in-lib",
+                i,
+                format!(
+                    "`{}` in library code can abort the caller; return the crate's typed \
+                     error instead",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+/// Rule 3: raw `File::create` / `fs::write` in non-test code must be the
+/// atomic helper itself; everything else routes through
+/// `dtucker_core::fsutil::atomic_write` so a crash never leaves a torn
+/// file.
+fn rule_atomic_write(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if matches!(f.class, FileClass::Test | FileClass::Example) {
+        return;
+    }
+    for (i, t) in f.tokens.iter().enumerate() {
+        if t.kind != TokKind::Ident || f.in_test_region(i) {
+            continue;
+        }
+        let path_head = f.prev_code(i).and_then(|j| {
+            (f.tokens[j].text == "::")
+                .then(|| f.prev_code(j))
+                .flatten()
+                .map(|k| f.tokens[k].text.clone())
+        });
+        let bad = match t.text.as_str() {
+            "create" => path_head.as_deref() == Some("File"),
+            "write" => path_head.as_deref() == Some("fs"),
+            _ => false,
+        };
+        if bad {
+            out.push(diag(
+                f,
+                "atomic-write-required",
+                i,
+                "raw file write can tear on crash; route through \
+                 `dtucker_core::fsutil::atomic_write` (temp + fsync + rename)"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// Rule 4: `get_unchecked` / `get_unchecked_mut` only inside the allowed
+/// kernel modules.
+fn rule_no_unchecked_index(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if UNCHECKED_ALLOWED_FILES.contains(&f.rel_path.as_str()) {
+        return;
+    }
+    for (i, t) in f.tokens.iter().enumerate() {
+        if t.kind == TokKind::Ident
+            && (t.text == "get_unchecked" || t.text == "get_unchecked_mut")
+            && !f.in_test_region(i)
+        {
+            out.push(diag(
+                f,
+                "no-unchecked-index-in-kernels",
+                i,
+                "unchecked indexing is confined to crates/linalg GEMM kernel modules; use \
+                 checked indexing here"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// Rule 5: `pub` items declared on a crate's `lib.rs` surface need doc
+/// comments (`pub use` re-exports inherit docs from their definition and
+/// are exempt; `pub(crate)` and narrower are not exported).
+fn rule_pub_needs_doc(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let is_surface = f.rel_path == "src/lib.rs"
+        || (f.rel_path.starts_with("crates/") && f.rel_path.ends_with("/src/lib.rs"));
+    if !is_surface {
+        return;
+    }
+    for (i, t) in f.tokens.iter().enumerate() {
+        if t.kind != TokKind::Ident || t.text != "pub" || f.in_test_region(i) {
+            continue;
+        }
+        let Some(j) = f.next_code(i) else { continue };
+        if f.tokens[j].text == "(" {
+            continue; // pub(crate) / pub(super): not exported
+        }
+        if f.tokens[j].text == "use" {
+            continue; // re-export: docs live at the definition
+        }
+        let comments = f.attached_comments_above(i);
+        let has_doc = comments
+            .iter()
+            .any(|c| (c.starts_with("///") && !c.starts_with("////")) || c.starts_with("/**"));
+        if !has_doc {
+            let what = f
+                .next_code(i)
+                .map(|k| f.tokens[k].text.clone())
+                .unwrap_or_default();
+            out.push(diag(
+                f,
+                "pub-fn-needs-doc",
+                i,
+                format!("exported `pub {what}` on a lib.rs surface has no doc comment"),
+            ));
+        }
+    }
+}
+
+/// Rule 6: `==` / `!=` where an adjacent operand is a non-zero float
+/// literal, an f32/f64 associated constant, or an `as f32/f64` cast.
+/// Exact-zero comparisons (`x == 0.0`) are exempt: they are well-defined
+/// guards (a value that was never perturbed is still bit-zero), they are
+/// ubiquitous in the Householder/Givens kernels, and replacing them with
+/// epsilon tests would change numerics the determinism suite pins.
+fn rule_no_float_eq(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if matches!(f.class, FileClass::Test | FileClass::Example) {
+        return;
+    }
+    for (i, t) in f.tokens.iter().enumerate() {
+        if t.kind != TokKind::Punct || (t.text != "==" && t.text != "!=") || f.in_test_region(i) {
+            continue;
+        }
+        let mut flagged: Option<String> = None;
+        // Left operand: the token just before the operator.
+        if let Some(j) = f.prev_code(i) {
+            flagged = flagged.or_else(|| float_evidence_left(f, j));
+        }
+        // Right operand: skip unary minus and parens.
+        let mut k = f.next_code(i);
+        while let Some(kk) = k {
+            if f.tokens[kk].text == "-" || f.tokens[kk].text == "(" {
+                k = f.next_code(kk);
+            } else {
+                break;
+            }
+        }
+        if let Some(kk) = k {
+            flagged = flagged.or_else(|| float_evidence_right(f, kk));
+        }
+        if let Some(evidence) = flagged {
+            let hint = if evidence.contains("NAN") {
+                "NaN never compares equal; use `.is_nan()`"
+            } else {
+                "compare with an explicit tolerance or restructure; exact equality on \
+                 computed floats is fragile"
+            };
+            out.push(diag(
+                f,
+                "no-float-eq",
+                i,
+                format!("float equality against `{evidence}`; {hint}"),
+            ));
+        }
+    }
+}
+
+/// Float evidence ending at token `j` (left side of the operator):
+/// a non-zero float literal, `f64::CONST`, or an `as f32/f64` cast.
+fn float_evidence_left(f: &SourceFile, j: usize) -> Option<String> {
+    let t = &f.tokens[j];
+    if t.kind == TokKind::Float && !float_text_is_zero(&t.text) {
+        return Some(t.text.clone());
+    }
+    if t.kind == TokKind::Ident && (t.text == "f32" || t.text == "f64") {
+        // `x as f64 == …`
+        let is_cast = f.prev_code(j).is_some_and(|p| f.tokens[p].text == "as");
+        if is_cast {
+            return Some(format!("as {}", t.text));
+        }
+    }
+    if t.kind == TokKind::Ident && is_float_const(&t.text) {
+        let p1 = f.prev_code(j)?;
+        if f.tokens[p1].text == "::" {
+            let p2 = f.prev_code(p1)?;
+            if f.tokens[p2].text == "f32" || f.tokens[p2].text == "f64" {
+                return Some(format!("{}::{}", f.tokens[p2].text, t.text));
+            }
+        }
+    }
+    None
+}
+
+/// Float evidence starting at token `k` (right side of the operator).
+fn float_evidence_right(f: &SourceFile, k: usize) -> Option<String> {
+    let t = &f.tokens[k];
+    if t.kind == TokKind::Float && !float_text_is_zero(&t.text) {
+        return Some(t.text.clone());
+    }
+    if t.kind == TokKind::Ident && (t.text == "f32" || t.text == "f64") {
+        let n1 = f.next_code(k)?;
+        if f.tokens[n1].text == "::" {
+            let n2 = f.next_code(n1)?;
+            if is_float_const(&f.tokens[n2].text) {
+                return Some(format!("{}::{}", t.text, f.tokens[n2].text));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, src: &str) -> Vec<Diagnostic> {
+        check_file(&SourceFile::parse(path, src))
+    }
+
+    fn rules_hit(d: &[Diagnostic]) -> Vec<&'static str> {
+        d.iter().map(|x| x.rule).collect()
+    }
+
+    #[test]
+    fn unsafe_without_safety_flagged() {
+        let d = run(
+            "crates/linalg/src/x.rs",
+            "fn f() { let x = unsafe { g() }; }\n",
+        );
+        assert!(rules_hit(&d).contains(&"unsafe-needs-safety-comment"));
+    }
+
+    #[test]
+    fn unsafe_with_safety_ok() {
+        let d = run(
+            "crates/linalg/src/x.rs",
+            "fn f() {\n    // SAFETY: g has no preconditions.\n    let x = unsafe { g() };\n}\n",
+        );
+        assert!(!rules_hit(&d).contains(&"unsafe-needs-safety-comment"));
+    }
+
+    #[test]
+    fn unwrap_in_lib_flagged_but_not_in_bin_or_test() {
+        let src = "fn f() { x.unwrap(); y.expect(\"m\"); panic!(\"no\"); }\n";
+        assert_eq!(
+            rules_hit(&run("crates/core/src/x.rs", src))
+                .iter()
+                .filter(|r| **r == "no-unwrap-in-lib")
+                .count(),
+            3
+        );
+        assert!(run("src/bin/cli.rs", src).is_empty());
+        assert!(run("crates/bench/src/lib.rs", src).is_empty());
+        let test_src = "#[cfg(test)]\nmod tests { fn f() { x.unwrap(); } }\n";
+        assert!(run("crates/core/src/x.rs", test_src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_like_names_not_flagged() {
+        let src = "fn f() { x.unwrap_or(0); x.unwrap_or_else(g); let expect = 1; }\n";
+        assert!(run("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn strings_and_comments_never_trip_rules() {
+        let src = "fn f() { let s = \"x.unwrap() panic! File::create\"; } // panic! unsafe\n";
+        assert!(run("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn raw_writes_flagged_everywhere_but_tests() {
+        let src = "fn f() { let _ = File::create(p); std::fs::write(p, b); }\n";
+        let d = run("crates/store/src/x.rs", src);
+        assert_eq!(
+            rules_hit(&d)
+                .iter()
+                .filter(|r| **r == "atomic-write-required")
+                .count(),
+            2
+        );
+        assert!(rules_hit(&run("src/bin/cli.rs", src)).contains(&"atomic-write-required"));
+        assert!(run("crates/core/tests/t.rs", src).is_empty());
+    }
+
+    #[test]
+    fn get_unchecked_confined_to_kernels() {
+        let src = "// SAFETY: i < n checked above.\nfn f() { unsafe { a.get_unchecked(i) }; }\n";
+        assert!(rules_hit(&run("crates/tensor/src/x.rs", src))
+            .contains(&"no-unchecked-index-in-kernels"));
+        assert!(!rules_hit(&run("crates/linalg/src/gemm.rs", src))
+            .contains(&"no-unchecked-index-in-kernels"));
+    }
+
+    #[test]
+    fn pub_without_doc_on_surface_flagged() {
+        let src = "pub mod x;\n/// Documented.\npub fn y() {}\npub use x::Z;\n";
+        let d = run("crates/core/src/lib.rs", src);
+        assert_eq!(
+            rules_hit(&d)
+                .iter()
+                .filter(|r| **r == "pub-fn-needs-doc")
+                .count(),
+            1,
+            "{d:?}"
+        );
+        // Same file off-surface: rule does not apply.
+        assert!(run("crates/core/src/other.rs", src).is_empty());
+    }
+
+    #[test]
+    fn float_eq_flagged_zero_exempt() {
+        let lib = "crates/core/src/x.rs";
+        assert!(rules_hit(&run(lib, "fn f() { if x == 1.0 {} }\n")).contains(&"no-float-eq"));
+        assert!(rules_hit(&run(lib, "fn f() { if 0.5 != x {} }\n")).contains(&"no-float-eq"));
+        assert!(rules_hit(&run(lib, "fn f() { if x == f64::NAN {} }\n")).contains(&"no-float-eq"));
+        assert!(rules_hit(&run(lib, "fn f() { if x as f64 == y {} }\n")).contains(&"no-float-eq"));
+        assert!(run(lib, "fn f() { if x == 0.0 {} }\n").is_empty());
+        assert!(run(lib, "fn f() { if x != -0.0 {} }\n").is_empty());
+        assert!(run(lib, "fn f() { if n == 3 {} }\n").is_empty());
+    }
+
+    #[test]
+    fn rule_names_match_registry() {
+        let src = "fn f() { x.unwrap(); }\n";
+        for d in run("crates/core/src/x.rs", src) {
+            assert!(RULES.iter().any(|r| r.name == d.rule));
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! `--fix-safety-stubs` end-to-end: copy the bad fixture into a scratch
+//! tree, run the fixer, and verify the inserted TODO stubs silence the
+//! unsafe-needs-safety-comment findings (and only those).
+
+use dtucker_lint::runner::{check, fix_safety_stubs, SAFETY_STUB};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn scratch_tree(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dtucker-lint-fix-{}-{tag}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    let src_root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    for rel in [
+        "crates/badcrate/src/lib.rs",
+        "crates/badcrate/src/kernels.rs",
+    ] {
+        let dst = dir.join(rel);
+        fs::create_dir_all(dst.parent().unwrap()).unwrap();
+        fs::copy(src_root.join(rel), &dst).unwrap();
+    }
+    dir
+}
+
+#[test]
+fn stubs_silence_unsafe_findings() {
+    let dir = scratch_tree("a");
+    let before = check(&dir).unwrap();
+    let unsafe_before = before
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == "unsafe-needs-safety-comment")
+        .count();
+    assert!(unsafe_before >= 1, "fixture must have undocumented unsafe");
+
+    let fixed = fix_safety_stubs(&before).unwrap();
+    assert_eq!(fixed, unsafe_before, "one stub per finding");
+
+    let rewritten = fs::read_to_string(dir.join("crates/badcrate/src/lib.rs")).unwrap();
+    assert!(rewritten.contains(SAFETY_STUB), "stub text inserted");
+
+    let after = check(&dir).unwrap();
+    assert_eq!(
+        after
+            .diagnostics
+            .iter()
+            .filter(|d| d.rule == "unsafe-needs-safety-comment")
+            .count(),
+        0,
+        "stubs must satisfy the rule:\n{}",
+        after.render_text()
+    );
+    // The other findings are untouched by the fixer.
+    let others = |r: &dtucker_lint::Report| {
+        r.diagnostics
+            .iter()
+            .filter(|d| d.rule != "unsafe-needs-safety-comment")
+            .count()
+    };
+    assert_eq!(others(&before), others(&after));
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fixer_is_a_no_op_on_clean_trees() {
+    let dir = scratch_tree("b");
+    let report = check(&dir).unwrap();
+    fix_safety_stubs(&report).unwrap();
+    let snapshot = fs::read_to_string(dir.join("crates/badcrate/src/lib.rs")).unwrap();
+    let again = check(&dir).unwrap();
+    assert_eq!(
+        fix_safety_stubs(&again).unwrap(),
+        0,
+        "second pass finds nothing"
+    );
+    assert_eq!(
+        fs::read_to_string(dir.join("crates/badcrate/src/lib.rs")).unwrap(),
+        snapshot,
+        "no further rewrites"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,8 @@
+//! Fixture for no-unchecked-index-in-kernels: `get_unchecked` outside the
+//! allowlisted GEMM kernel file.
+
+/// Reads an element without a bounds check.
+pub fn read_fast(v: &[f64], i: usize) -> f64 {
+    // SAFETY: the caller promises `i < v.len()`.
+    unsafe { *v.get_unchecked(i) }
+}

@@ -1,0 +1,47 @@
+//! Deliberately bad crate for the dtucker-lint self-test. Every rule in
+//! the registry must be caught by at least one snippet below — the
+//! integration tests assert exactly that. This file is excluded from the
+//! real repo scan (see `SKIP_PREFIXES`) and never compiled.
+
+pub mod kernels;
+
+pub fn undocumented_unwrap(v: &[i32]) -> i32 {
+    *v.first().unwrap()
+}
+
+/// Compares floats with `==` (no-float-eq).
+pub fn float_eq(a: f64) -> bool {
+    a == 1.5
+}
+
+/// Exact-zero comparisons are exempt from no-float-eq by design.
+pub fn zero_guard(a: f64) -> bool {
+    a == 0.0
+}
+
+/// Writes a file directly instead of via the atomic helper
+/// (atomic-write-required).
+pub fn raw_write(path: &std::path::Path, bytes: &[u8]) {
+    let _ = std::fs::write(path, bytes);
+}
+
+/// Unsafe block without a SAFETY comment (unsafe-needs-safety-comment).
+pub fn no_safety(p: *const i32) -> i32 {
+    unsafe { *p }
+}
+
+/// Unsafe block WITH a SAFETY comment — must not be flagged.
+pub fn has_safety(p: *const i32) -> i32 {
+    // SAFETY: the caller guarantees `p` is valid and aligned.
+    unsafe { *p }
+}
+
+#[cfg(test)]
+mod tests {
+    // Unwraps inside test regions are fine.
+    #[test]
+    fn unwrap_in_test_is_fine() {
+        let v = vec![1];
+        assert_eq!(*v.first().unwrap(), 1);
+    }
+}

@@ -1,0 +1,9 @@
+//! Suppression fixture: the single unwrap below carries an inline
+//! allowlist comment, so it must land in `Report::suppressed`, not in
+//! `Report::diagnostics`.
+
+/// First element, panicking on empty input (documented contract).
+pub fn first(v: &[i32]) -> i32 {
+    // dtucker-lint: allow(no-unwrap-in-lib)
+    *v.first().unwrap()
+}

@@ -1,0 +1,33 @@
+//! The repo lints itself: running dtucker-lint over the workspace root
+//! must come back clean. This is the same gate CI enforces, kept as a
+//! plain test so `cargo test` alone catches regressions.
+
+use dtucker_lint::runner::check;
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    // crates/lint -> crates -> workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+#[test]
+fn repository_lints_clean() {
+    let root = repo_root();
+    assert!(
+        root.join("Cargo.toml").exists() && root.join("crates").is_dir(),
+        "workspace root not found at {}",
+        root.display()
+    );
+    let report = check(&root).unwrap();
+    assert!(
+        report.is_clean(),
+        "dtucker-lint found {} issue(s) in the repo:\n{}",
+        report.diagnostics.len(),
+        report.render_text()
+    );
+    assert!(report.files_scanned > 50, "scan looks truncated");
+}

@@ -101,15 +101,21 @@ impl ContractionCache {
             self.used -= old.bytes;
         }
         while self.used + bytes > self.budget {
-            let lru = self
+            // An over-budget `used` implies live entries, but degrade
+            // gracefully (stop evicting) rather than panic if the
+            // accounting ever drifts.
+            let Some(lru) = self
                 .map
                 .iter()
                 .min_by_key(|(_, e)| e.last_used)
                 .map(|(k, _)| k.clone())
-                .expect("used > 0 implies entries exist");
-            let e = self.map.remove(&lru).expect("key from live iteration");
-            self.used -= e.bytes;
-            self.stats.evictions += 1;
+            else {
+                break;
+            };
+            if let Some(e) = self.map.remove(&lru) {
+                self.used -= e.bytes;
+                self.stats.evictions += 1;
+            }
         }
         self.tick += 1;
         self.map.insert(

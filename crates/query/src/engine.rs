@@ -228,10 +228,11 @@ impl QueryEngine {
         for i in order {
             out[i] = Some(self.execute(&plans[i])?);
         }
-        Ok(out
-            .into_iter()
-            .map(|t| t.expect("every slot filled"))
-            .collect())
+        out.into_iter()
+            .map(|t| {
+                t.ok_or_else(|| QueryError::Internal("batch execution left a slot unfilled".into()))
+            })
+            .collect()
     }
 
     /// Runs a plan: longest-cached-prefix lookup, then the remaining

@@ -25,6 +25,9 @@ pub enum QueryError {
     Tensor(TensorError),
     /// A matrix-level operation failed.
     Linalg(LinalgError),
+    /// An internal invariant was violated; this indicates a bug in the
+    /// query engine, not bad input.
+    Internal(String),
 }
 
 impl fmt::Display for QueryError {
@@ -36,6 +39,9 @@ impl fmt::Display for QueryError {
             QueryError::Core(e) => write!(f, "core error: {e}"),
             QueryError::Tensor(e) => write!(f, "tensor error: {e}"),
             QueryError::Linalg(e) => write!(f, "linalg error: {e}"),
+            QueryError::Internal(d) => {
+                write!(f, "internal invariant violated (please report): {d}")
+            }
         }
     }
 }

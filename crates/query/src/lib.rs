@@ -36,12 +36,18 @@
 //! # Ok::<(), dtucker_query::QueryError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+/// LRU cache of partial-contraction prefixes.
 pub mod cache;
+/// The query engine: plan, execute, cache, profile.
 pub mod engine;
+/// Typed query errors.
 pub mod error;
+/// Contraction-order planning (exhaustive + greedy).
 pub mod plan;
+/// Half-open per-mode index ranges.
 pub mod range;
 
 pub use cache::{CacheStats, ContractionCache};

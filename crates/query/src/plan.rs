@@ -100,16 +100,18 @@ pub fn plan(ranks: &[usize], range: &Range) -> QueryPlan {
     let extents = range.extents();
     let n = ranks.len();
     let order: Vec<usize> = if n <= EXHAUSTIVE_LIMIT {
-        let mut best: Option<(f64, Vec<usize>)> = None;
         let mut modes: Vec<usize> = (0..n).collect();
+        // Seed with the identity order so `best` is always defined; the
+        // scan visits it anyway, and only strict improvements replace it,
+        // keeping the lexicographically-first optimum.
+        let mut best = (simulate(&modes, ranks, &extents), modes.clone());
         for_each_permutation(&mut modes, &mut Vec::with_capacity(n), &mut |perm| {
             let cost = simulate(perm, ranks, &extents);
-            // Strict improvement keeps the lexicographically-first optimum.
-            if best.as_ref().map_or(true, |(c, _)| cost < *c) {
-                best = Some((cost, perm.to_vec()));
+            if cost < best.0 {
+                best = (cost, perm.to_vec());
             }
         });
-        best.expect("at least one permutation").1
+        best.1
     } else {
         // Greedy: sort by (1/r − 1/J) descending — the per-step cost is
         // r·J·∏others, and swapping adjacent steps shows the order that
@@ -118,7 +120,7 @@ pub fn plan(ranks: &[usize], range: &Range) -> QueryPlan {
         modes.sort_by(|&a, &b| {
             let ka = 1.0 / extents[a] as f64 - 1.0 / ranks[a] as f64;
             let kb = 1.0 / extents[b] as f64 - 1.0 / ranks[b] as f64;
-            kb.partial_cmp(&ka).unwrap().then(a.cmp(&b))
+            kb.total_cmp(&ka).then(a.cmp(&b))
         });
         modes
     };

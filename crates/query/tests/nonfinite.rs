@@ -1,0 +1,54 @@
+//! NaN/±∞ propagation through the factored aggregates: one non-finite
+//! value anywhere in the model (core or any factor) must surface as a
+//! non-finite `sum`/`mean`/`fro_norm` over the full range — the factored
+//! contraction paths must never launder it into a finite number.
+
+use dtucker_core::TuckerDecomp;
+use dtucker_linalg::Matrix;
+use dtucker_query::{QueryEngine, Range};
+use dtucker_tensor::DenseTensor;
+use proptest::prelude::*;
+
+/// Strategy: an order-3 rank-(2,2,2) decomposition with dims in [2, 4]
+/// and exactly one entry (in the core or a factor) replaced by NaN or ±∞.
+fn poisoned_model() -> impl Strategy<Value = TuckerDecomp> {
+    (2usize..=4, 2usize..=4, 2usize..=4).prop_flat_map(|(d0, d1, d2)| {
+        let total = 8 + (d0 + d1 + d2) * 2;
+        (
+            proptest::collection::vec(-5.0f64..5.0, total),
+            0..total,
+            prop_oneof![Just(f64::NAN), Just(f64::INFINITY), Just(f64::NEG_INFINITY)],
+        )
+            .prop_map(move |(mut data, pos, bad)| {
+                data[pos] = bad;
+                let core = DenseTensor::from_vec(&[2, 2, 2], data[..8].to_vec()).unwrap();
+                let mut off = 8;
+                let factors: Vec<Matrix> = [d0, d1, d2]
+                    .iter()
+                    .map(|&d| {
+                        let m = Matrix::from_vec(d, 2, data[off..off + d * 2].to_vec()).unwrap();
+                        off += d * 2;
+                        m
+                    })
+                    .collect();
+                TuckerDecomp { core, factors }
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn aggregates_propagate_nonfinite(d in poisoned_model()) {
+        let shape = d.full_shape();
+        let full = Range::new(shape.iter().map(|&s| (0, s)).collect());
+        let mut eng = QueryEngine::new(d).unwrap();
+        let sum = eng.sum(&full).unwrap();
+        prop_assert!(!sum.is_finite(), "sum {sum}");
+        let mean = eng.mean(&full).unwrap();
+        prop_assert!(!mean.is_finite(), "mean {mean}");
+        let norm = eng.fro_norm(&full).unwrap();
+        prop_assert!(!norm.is_finite(), "fro_norm {norm}");
+    }
+}

@@ -8,11 +8,15 @@
 //! * [`tensorsketch::TensorSketch`] — CountSketch of a Kronecker product
 //!   without forming the product.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![allow(clippy::needless_range_loop)]
 
+/// CountSketch projections (hash + sign).
 pub mod countsketch;
+/// Radix-2 FFT for fast sketch convolution.
 pub mod fft;
+/// TensorSketch of Kronecker-structured matrices.
 pub mod tensorsketch;
 
 pub use countsketch::CountSketch;

@@ -42,6 +42,25 @@ pub const VERSION: u16 = 1;
 /// Container overhead: magic + version + kind + payload_len + crc32.
 pub const OVERHEAD: usize = 4 + 2 + 2 + 8 + 4;
 
+/// Total copy of the first 8 bytes of `b` into a fixed array (zero-padded
+/// if short). Every caller has already length-checked `b`, but the total
+/// form keeps the decoder panic-free on any input.
+pub(crate) fn arr8(b: &[u8]) -> [u8; 8] {
+    let mut out = [0u8; 8];
+    let n = b.len().min(8);
+    out[..n].copy_from_slice(&b[..n]);
+    out
+}
+
+/// Total copy of the first 4 bytes of `b` into a fixed array (zero-padded
+/// if short).
+pub(crate) fn arr4(b: &[u8]) -> [u8; 4] {
+    let mut out = [0u8; 4];
+    let n = b.len().min(4);
+    out[..n].copy_from_slice(&b[..n]);
+    out
+}
+
 /// What a container holds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum ArtifactKind {
@@ -115,7 +134,7 @@ pub fn decode_container(bytes: &[u8]) -> Result<(ArtifactKind, &[u8])> {
         });
     }
     let kind = ArtifactKind::from_u16(u16::from_le_bytes([bytes[6], bytes[7]]))?;
-    let payload_len = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes")) as usize;
+    let payload_len = u64::from_le_bytes(arr8(&bytes[8..16])) as usize;
     let expected = OVERHEAD
         .checked_add(payload_len)
         .ok_or_else(|| StoreError::Format("payload length overflows".into()))?;
@@ -126,7 +145,7 @@ pub fn decode_container(bytes: &[u8]) -> Result<(ArtifactKind, &[u8])> {
         )));
     }
     let body = &bytes[..bytes.len() - 4];
-    let stored = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().expect("4 bytes"));
+    let stored = u32::from_le_bytes(arr4(&bytes[bytes.len() - 4..]));
     let computed = crc32(body);
     if stored != computed {
         return Err(StoreError::Corrupt { stored, computed });
@@ -162,9 +181,7 @@ impl<'a> Reader<'a> {
     }
 
     pub(crate) fn u64(&mut self, what: &str) -> Result<u64> {
-        Ok(u64::from_le_bytes(
-            self.take(8, what)?.try_into().expect("8 bytes"),
-        ))
+        Ok(u64::from_le_bytes(arr8(self.take(8, what)?)))
     }
 
     /// A `u64` that must fit in `usize` and be a plausible element count
@@ -186,9 +203,7 @@ impl<'a> Reader<'a> {
     }
 
     pub(crate) fn f64(&mut self, what: &str) -> Result<f64> {
-        Ok(f64::from_le_bytes(
-            self.take(8, what)?.try_into().expect("8 bytes"),
-        ))
+        Ok(f64::from_le_bytes(arr8(self.take(8, what)?)))
     }
 
     pub(crate) fn usize_vec(&mut self, what: &str) -> Result<Vec<usize>> {
@@ -196,7 +211,7 @@ impl<'a> Reader<'a> {
         let raw = self.take(n * 8, what)?;
         let mut out = Vec::with_capacity(n);
         for chunk in raw.chunks_exact(8) {
-            let v = u64::from_le_bytes(chunk.try_into().expect("8 bytes"));
+            let v = u64::from_le_bytes(arr8(chunk));
             out.push(
                 usize::try_from(v).map_err(|_| {
                     StoreError::Format(format!("{what} element {v} overflows usize"))
@@ -213,7 +228,7 @@ impl<'a> Reader<'a> {
         let raw = self.take(need, what)?;
         Ok(raw
             .chunks_exact(8)
-            .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
+            .map(|c| f64::from_le_bytes(arr8(c)))
             .collect())
     }
 

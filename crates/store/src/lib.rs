@@ -32,13 +32,20 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+/// Resumable HOOI checkpoints.
 pub mod checkpoint;
+/// CRC-32/IEEE integrity checksums.
 pub mod crc;
+/// Typed store errors.
 pub mod error;
+/// The `.dts` artifact container and payload codecs.
 pub mod format;
+/// Out-of-core slice sources backed by `.dten` files.
 pub mod source;
+/// The on-disk artifact store (save/load/list).
 pub mod store;
 
 pub use checkpoint::HooiCheckpoint;

@@ -141,7 +141,7 @@ impl DtenSliceSource {
         let mut raw = vec![0u8; out.len() * 8];
         self.file.read_exact(&mut raw)?;
         for (dst, chunk) in out.iter_mut().zip(raw.chunks_exact(8)) {
-            *dst = f64::from_le_bytes(chunk.try_into().expect("8 bytes"));
+            *dst = f64::from_le_bytes(crate::format::arr8(chunk));
         }
         Ok(())
     }
@@ -215,7 +215,7 @@ impl DtenSliceSource {
             let take = left.min(buf.len());
             reader.read_exact(&mut buf[..take])?;
             for chunk in buf[..take].chunks_exact(8) {
-                acc.push(f64::from_le_bytes(chunk.try_into().expect("8 bytes")));
+                acc.push(f64::from_le_bytes(crate::format::arr8(chunk)));
             }
             left -= take;
         }

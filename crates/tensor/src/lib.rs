@@ -26,16 +26,25 @@
 //! assert_eq!(m.shape(), (3, 8));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![allow(clippy::needless_range_loop)]
 
+/// The Fortran-order `DenseTensor` type.
 pub mod dense;
+/// Typed tensor errors.
 pub mod error;
+/// The `.dten` file format and atomic writes.
 pub mod io;
+/// Seeded random tensors and low-rank-plus-noise models.
 pub mod random;
+/// COO sparse tensors and sparse TTM.
 pub mod sparse;
+/// Summary statistics over tensor entries.
 pub mod stats;
+/// Tensor-times-matrix products and chains.
 pub mod ttm;
+/// Mode-n unfoldings and permutations.
 pub mod unfold;
 
 pub use dense::DenseTensor;

@@ -232,8 +232,7 @@ pub fn ttv(x: &DenseTensor, v: &[f64], mode: usize) -> Result<DenseTensor> {
             ),
         });
     }
-    let row =
-        Matrix::from_vec(1, v.len(), v.to_vec()).expect("row vector construction cannot fail");
+    let row = Matrix::from_vec(1, v.len(), v.to_vec())?;
     let contracted = ttm(x, &row, mode)?;
     // Drop the singleton mode.
     let mut new_shape: Vec<usize> = contracted.shape().to_vec();

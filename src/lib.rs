@@ -13,6 +13,7 @@
 //! assert!(out.decomposition.relative_error_sq(&x).unwrap() < 0.2);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 /// Baseline Tucker methods (HOOI, HOSVD, MACH, RTD, Tucker-ts/ttmts).

@@ -4,6 +4,8 @@
 //! uses for tensor serialization: advancing reads from `&[u8]` and
 //! appending writes to `Vec<u8>`.
 
+#![forbid(unsafe_code)]
+
 /// Sequential reader over a byte source; reads advance the cursor.
 pub trait Buf {
     /// Bytes left to read.

@@ -10,6 +10,8 @@
 //! `sample_size` samples are timed and the median per-iteration wall time
 //! is printed. No statistics beyond min/median/max, no HTML reports.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 

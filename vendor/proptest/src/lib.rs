@@ -10,6 +10,8 @@
 //! a failing case panics with the normal assertion message, and reruns
 //! reproduce it exactly because sampling is deterministic.
 
+#![forbid(unsafe_code)]
+
 use rand::rngs::StdRng;
 use rand::{Rng, SampleRange, SeedableRng};
 

@@ -11,6 +11,8 @@
 //! `StdRng` (ChaCha12); everything in this workspace treats the RNG as an
 //! opaque seeded source, so only determinism per seed matters.
 
+#![forbid(unsafe_code)]
+
 /// A source of random 64-bit words.
 pub trait RngCore {
     /// Next 64 random bits.
