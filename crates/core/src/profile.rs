@@ -39,11 +39,23 @@ impl PhaseProfile {
     /// Adds `elapsed` to phase `name` (creating it at the end of the
     /// ordering on first use) and bumps its invocation count.
     pub fn record(&mut self, name: &str, elapsed: Duration) {
+        self.record_n(name, elapsed, 1);
+    }
+
+    /// Adds an already-aggregated total: `elapsed` across `count`
+    /// invocations of phase `name`. This is the bridge for subsystems that
+    /// accumulate timings in counters (e.g. a server's per-route atomics)
+    /// and fold them into a profile after the fact; `count == 0` records
+    /// nothing.
+    pub fn record_n(&mut self, name: &str, elapsed: Duration, count: u64) {
+        if count == 0 {
+            return;
+        }
         if let Some(p) = self.phases.iter_mut().find(|(n, _, _)| n == name) {
             p.1 += elapsed;
-            p.2 += 1;
+            p.2 += count;
         } else {
-            self.phases.push((name.to_string(), elapsed, 1));
+            self.phases.push((name.to_string(), elapsed, count));
         }
     }
 
@@ -245,6 +257,19 @@ mod tests {
         assert!(report.contains("plan"), "{report}");
         assert!(report.contains("total"), "{report}");
         assert!(PhaseProfile::new().report().contains("total"));
+    }
+
+    #[test]
+    fn record_n_bridges_aggregated_counters() {
+        let mut p = PhaseProfile::new();
+        p.record_n("handle", Duration::from_millis(30), 3);
+        p.record("handle", Duration::from_millis(5));
+        assert_eq!(p.get("handle"), Some(Duration::from_millis(35)));
+        assert_eq!(p.count("handle"), 4);
+        // A zero count records nothing, not an empty phase.
+        p.record_n("idle", Duration::from_millis(9), 0);
+        assert_eq!(p.count("idle"), 0);
+        assert!(p.get("idle").is_none());
     }
 
     #[test]

@@ -40,6 +40,25 @@ impl CacheStats {
     }
 }
 
+impl std::ops::Add for CacheStats {
+    type Output = CacheStats;
+
+    fn add(self, rhs: CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits + rhs.hits,
+            misses: self.misses + rhs.misses,
+            insertions: self.insertions + rhs.insertions,
+            evictions: self.evictions + rhs.evictions,
+        }
+    }
+}
+
+impl std::ops::AddAssign for CacheStats {
+    fn add_assign(&mut self, rhs: CacheStats) {
+        *self = *self + rhs;
+    }
+}
+
 #[derive(Debug)]
 struct Entry {
     tensor: DenseTensor,

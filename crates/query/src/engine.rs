@@ -11,6 +11,7 @@ use dtucker_store::ArtifactStore;
 use dtucker_tensor::ttm::{ttm, ttm_rows};
 use dtucker_tensor::DenseTensor;
 use std::path::Path;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Default partial-contraction cache budget (64 MiB).
@@ -35,7 +36,7 @@ pub const DEFAULT_CACHE_BYTES: usize = 64 << 20;
 /// would have recomputed.
 #[derive(Debug)]
 pub struct QueryEngine {
-    decomp: TuckerDecomp,
+    decomp: Arc<TuckerDecomp>,
     shape: Vec<usize>,
     cache: ContractionCache,
     profile: PhaseProfile,
@@ -50,6 +51,14 @@ impl QueryEngine {
 
     /// An engine with an explicit cache budget (0 disables caching).
     pub fn with_cache_bytes(decomp: TuckerDecomp, cache_bytes: usize) -> Result<Self> {
+        Self::from_shared(Arc::new(decomp), cache_bytes)
+    }
+
+    /// An engine over a decomposition shared with other engines (the
+    /// factors and core are reference-counted, never copied per engine —
+    /// this is what lets [`SharedQueryEngine`](crate::SharedQueryEngine)
+    /// keep one model in memory across many per-worker cache shards).
+    pub fn from_shared(decomp: Arc<TuckerDecomp>, cache_bytes: usize) -> Result<Self> {
         decomp.validate()?;
         let shape = decomp.full_shape();
         Ok(QueryEngine {
@@ -90,11 +99,33 @@ impl QueryEngine {
         &self.decomp
     }
 
+    /// A reference-counted handle to the decomposition, for building
+    /// further engines over the same model without copying it.
+    pub fn decomp_shared(&self) -> Arc<TuckerDecomp> {
+        Arc::clone(&self.decomp)
+    }
+
     /// Cache counter snapshot. Each query probes plan prefixes
     /// longest-first until one hits, so a cold order-`N` query records up
     /// to `N` misses and a fully warm one records a single hit.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// Bytes of tensor payload currently held by the partial-contraction
+    /// cache.
+    pub fn cache_used_bytes(&self) -> usize {
+        self.cache.used_bytes()
+    }
+
+    /// The cache's configured byte budget (0 means caching is disabled).
+    pub fn cache_budget_bytes(&self) -> usize {
+        self.cache.budget_bytes()
+    }
+
+    /// Number of partial contractions currently cached.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
     }
 
     /// Accumulated per-phase timings (`plan` / `cache` / `contract`).

@@ -49,9 +49,12 @@ pub mod error;
 pub mod plan;
 /// Half-open per-mode index ranges.
 pub mod range;
+/// Thread-safe sharded sharing of the engine (one cache per worker).
+pub mod shared;
 
 pub use cache::{CacheStats, ContractionCache};
 pub use engine::{QueryEngine, DEFAULT_CACHE_BYTES};
 pub use error::{QueryError, Result};
 pub use plan::{plan, PlanStep, QueryPlan};
 pub use range::Range;
+pub use shared::SharedQueryEngine;

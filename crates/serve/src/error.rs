@@ -1,0 +1,84 @@
+//! Error type for the serving subsystem.
+
+use dtucker_query::QueryError;
+use dtucker_store::StoreError;
+use std::fmt;
+use std::io;
+
+/// Errors surfaced by the server's setup and run paths. Per-request
+/// failures never reach this type — they are mapped to HTTP error
+/// responses inside the handler.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Binding, accepting, or socket configuration failed.
+    Io(io::Error),
+    /// Building a query engine over an artifact failed.
+    Query(QueryError),
+    /// Loading artifacts from the store failed.
+    Store(StoreError),
+    /// The server configuration is unusable.
+    Config(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "i/o error: {e}"),
+            ServeError::Query(e) => write!(f, "query engine error: {e}"),
+            ServeError::Store(e) => write!(f, "store error: {e}"),
+            ServeError::Config(d) => write!(f, "invalid serve configuration: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Io(e) => Some(e),
+            ServeError::Query(e) => Some(e),
+            ServeError::Store(e) => Some(e),
+            ServeError::Config(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for ServeError {
+    fn from(e: io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<QueryError> for ServeError {
+    fn from(e: QueryError) -> Self {
+        ServeError::Query(e)
+    }
+}
+
+impl From<StoreError> for ServeError {
+    fn from(e: StoreError) -> Self {
+        ServeError::Store(e)
+    }
+}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, ServeError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e: ServeError = io::Error::new(io::ErrorKind::AddrInUse, "busy").into();
+        assert!(e.to_string().contains("busy"));
+        assert!(e.source().is_some());
+        let e: ServeError = QueryError::Parse("bad".into()).into();
+        assert!(e.to_string().contains("bad"));
+        let e: ServeError = StoreError::Format("trunc".into()).into();
+        assert!(e.to_string().contains("trunc"));
+        let e = ServeError::Config("threads must be > 0".into());
+        assert!(e.to_string().contains("threads"));
+        assert!(e.source().is_none());
+    }
+}

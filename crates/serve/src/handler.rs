@@ -1,0 +1,518 @@
+//! Route dispatch: one parsed [`Request`] in, one [`Response`] out.
+//!
+//! The handler is pure with respect to the transport — it never touches a
+//! socket — so every route is unit-testable without a listener, and the
+//! integration tests can compare server responses byte-for-byte against
+//! direct calls through the same renderers.
+//!
+//! | Route | Meaning |
+//! |---|---|
+//! | `GET /health` | liveness + drain state |
+//! | `GET /artifacts` | names, shapes and ranks being served |
+//! | `GET /q/NAME?range=SPEC` | reconstruct a range (`at=SPEC` for single elements) |
+//! | `GET /q/NAME?range=SPEC&agg=sum\|mean\|fro` | aggregate over a range |
+//! | `POST /q/NAME/batch` | newline-separated specs through the batch planner |
+//! | `GET /metrics` | Prometheus text exposition |
+//! | `POST /shutdown` | begin graceful drain |
+
+use crate::http::{Method, Request, Response};
+use crate::json::{render_error, render_result, write_result, JsonWriter};
+use crate::metrics::{ArtifactReading, Metrics};
+use dtucker_core::PhaseProfile;
+use dtucker_query::{QueryError, Range, SharedQueryEngine};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// One artifact being served: its store name and its sharded engine.
+#[derive(Debug)]
+pub struct ServedArtifact {
+    /// The artifact's name in the store (no `.dts` suffix).
+    pub name: String,
+    /// The sharded engine answering queries over it.
+    pub engine: SharedQueryEngine,
+}
+
+/// Shared application state: the artifacts, the instruments, and the
+/// drain flag the acceptor polls.
+#[derive(Debug)]
+pub struct App {
+    artifacts: Vec<ServedArtifact>,
+    /// Server instrumentation (public so the accept loop can record
+    /// sheds and queue depths on it).
+    pub metrics: Metrics,
+    draining: AtomicBool,
+}
+
+impl App {
+    /// Application state over `artifacts`.
+    pub fn new(artifacts: Vec<ServedArtifact>) -> Self {
+        App {
+            artifacts,
+            metrics: Metrics::new(),
+            draining: AtomicBool::new(false),
+        }
+    }
+
+    /// The artifacts being served.
+    pub fn artifacts(&self) -> &[ServedArtifact] {
+        &self.artifacts
+    }
+
+    /// Looks an artifact up by name.
+    pub fn artifact(&self, name: &str) -> Option<&ServedArtifact> {
+        self.artifacts.iter().find(|a| a.name == name)
+    }
+
+    /// Whether graceful drain has begun.
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Begins graceful drain: the accept loop stops taking connections
+    /// and workers finish their current keep-alive exchanges.
+    pub fn begin_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Per-artifact cache readings for the metrics exposition.
+    pub fn cache_readings(&self) -> Vec<ArtifactReading> {
+        self.artifacts
+            .iter()
+            .map(|a| ArtifactReading {
+                name: a.name.clone(),
+                stats: a.engine.cache_stats(),
+                used_bytes: a.engine.cache_used_bytes(),
+                budget_bytes: a.engine.cache_budget_bytes(),
+            })
+            .collect()
+    }
+
+    /// Engine phase timings merged across all artifacts and shards.
+    pub fn engine_profile(&self) -> PhaseProfile {
+        let mut merged = PhaseProfile::new();
+        for a in &self.artifacts {
+            merged.merge(&a.engine.profile());
+        }
+        merged
+    }
+}
+
+/// Maps a query-engine failure to an HTTP status: bad input is the
+/// client's fault (400), anything else is ours (500).
+fn query_status(e: &QueryError) -> u16 {
+    match e {
+        QueryError::Parse(_) | QueryError::InvalidRange { .. } => 400,
+        _ => 500,
+    }
+}
+
+fn not_found(path: &str) -> Response {
+    Response::json(404, render_error(&format!("no route for '{path}'")))
+}
+
+fn method_not_allowed(path: &str) -> Response {
+    Response::json(
+        405,
+        render_error(&format!("method not allowed on '{path}'")),
+    )
+}
+
+fn query_error(e: &QueryError) -> Response {
+    Response::json(query_status(e), render_error(&e.to_string()))
+}
+
+/// Dispatches one request. `shard` is the calling worker's index, pinning
+/// its queries to one engine shard so repeated queries stay cache-warm.
+/// Returns the route label (for metrics) and the response.
+pub fn handle(app: &App, shard: usize, req: &Request) -> (&'static str, Response) {
+    match (req.method, req.path.as_str()) {
+        (Method::Get, "/health") => ("health", health(app)),
+        (Method::Get, "/artifacts") => ("artifacts", artifacts(app)),
+        (Method::Get, "/metrics") => ("metrics", metrics(app)),
+        (Method::Post, "/shutdown") => ("shutdown", shutdown(app)),
+        (Method::Get, path) if path.starts_with("/q/") => {
+            let name = &path[3..];
+            if name.is_empty() || name.contains('/') {
+                ("other", not_found(path))
+            } else {
+                query(app, shard, name, req)
+            }
+        }
+        (Method::Post, path) if path.starts_with("/q/") && path.ends_with("/batch") => {
+            let name = &path[3..path.len() - "/batch".len()];
+            if name.is_empty() || name.contains('/') {
+                ("other", not_found(path))
+            } else {
+                ("q_batch", batch(app, shard, name, req))
+            }
+        }
+        // Right route, wrong method.
+        (_, path @ ("/health" | "/artifacts" | "/metrics" | "/shutdown")) => {
+            ("other", method_not_allowed(path))
+        }
+        (_, path) if path.starts_with("/q/") => ("other", method_not_allowed(path)),
+        (_, path) => ("other", not_found(path)),
+    }
+}
+
+fn health(app: &App) -> Response {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("status");
+    w.string("ok");
+    w.key("artifacts");
+    w.number_u64(app.artifacts.len() as u64);
+    w.key("draining");
+    w.boolean(app.is_draining());
+    w.end_object();
+    Response::json(200, w.finish())
+}
+
+fn artifacts(app: &App) -> Response {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("artifacts");
+    w.begin_array();
+    for a in &app.artifacts {
+        w.begin_object();
+        w.key("name");
+        w.string(&a.name);
+        w.key("shape");
+        w.begin_array();
+        for &d in a.engine.shape() {
+            w.number_u64(d as u64);
+        }
+        w.end_array();
+        w.key("ranks");
+        w.begin_array();
+        for &r in a.engine.ranks() {
+            w.number_u64(r as u64);
+        }
+        w.end_array();
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    Response::json(200, w.finish())
+}
+
+fn metrics(app: &App) -> Response {
+    let text = app
+        .metrics
+        .render_prometheus(&app.cache_readings(), &app.engine_profile());
+    Response::text(200, text)
+}
+
+fn shutdown(app: &App) -> Response {
+    app.begin_drain();
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("draining");
+    w.boolean(true);
+    w.end_object();
+    let mut r = Response::json(200, w.finish());
+    r.close = true;
+    r
+}
+
+fn query(app: &App, shard: usize, name: &str, req: &Request) -> (&'static str, Response) {
+    let Some(art) = app.artifact(name) else {
+        return (
+            "q_range",
+            Response::json(404, render_error(&format!("no artifact named '{name}'"))),
+        );
+    };
+    let (label, spec, must_be_element) = match (req.query_param("range"), req.query_param("at")) {
+        (Some(_), Some(_)) => {
+            return (
+                "q_range",
+                Response::json(400, render_error("give either 'range' or 'at', not both")),
+            )
+        }
+        (Some(spec), None) => ("q_range", spec, false),
+        (None, Some(spec)) => ("q_at", spec, true),
+        (None, None) => {
+            return (
+                "q_range",
+                Response::json(400, render_error("missing 'range' or 'at' query parameter")),
+            )
+        }
+    };
+    let range = match Range::parse(spec, art.engine.shape()) {
+        Ok(r) => r,
+        Err(e) => return (label, query_error(&e)),
+    };
+    if must_be_element && range.numel() != 1 {
+        return (
+            label,
+            Response::json(
+                400,
+                render_error(&format!(
+                    "'at={spec}' selects {} elements, expected 1",
+                    range.numel()
+                )),
+            ),
+        );
+    }
+    if let Some(agg) = req.query_param("agg") {
+        let computed = match agg {
+            "sum" => art.engine.sum_on(shard, &range),
+            "mean" => art.engine.mean_on(shard, &range),
+            "fro" => art.engine.fro_norm_on(shard, &range),
+            other => {
+                return (
+                    "q_agg",
+                    Response::json(
+                        400,
+                        render_error(&format!("unknown agg '{other}' (want sum, mean or fro)")),
+                    ),
+                )
+            }
+        };
+        return match computed {
+            Ok(v) => (
+                "q_agg",
+                Response::json(200, crate::json::render_aggregate(spec, agg, v)),
+            ),
+            Err(e) => ("q_agg", query_error(&e)),
+        };
+    }
+    match art.engine.query_on(shard, &range) {
+        Ok(t) => (label, Response::json(200, render_result(spec, &t))),
+        Err(e) => (label, query_error(&e)),
+    }
+}
+
+fn batch(app: &App, shard: usize, name: &str, req: &Request) -> Response {
+    let Some(art) = app.artifact(name) else {
+        return Response::json(404, render_error(&format!("no artifact named '{name}'")));
+    };
+    let Ok(body) = std::str::from_utf8(&req.body) else {
+        return Response::json(400, render_error("batch body is not UTF-8"));
+    };
+    let specs: Vec<&str> = body
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty())
+        .collect();
+    if specs.is_empty() {
+        return Response::json(
+            400,
+            render_error("empty batch body (one range spec per line)"),
+        );
+    }
+    let mut ranges = Vec::with_capacity(specs.len());
+    for spec in &specs {
+        match Range::parse(spec, art.engine.shape()) {
+            Ok(r) => ranges.push(r),
+            Err(e) => return query_error(&e),
+        }
+    }
+    match art.engine.query_batch_on(shard, &ranges) {
+        Ok(results) => {
+            let mut w = JsonWriter::new();
+            w.begin_object();
+            w.key("results");
+            w.begin_array();
+            for (spec, t) in specs.iter().zip(&results) {
+                write_result(&mut w, spec, t);
+            }
+            w.end_array();
+            w.end_object();
+            Response::json(200, w.finish())
+        }
+        Err(e) => query_error(&e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtucker_core::TuckerDecomp;
+    use dtucker_query::QueryEngine;
+    use dtucker_tensor::random::random_tucker;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn decomp(seed: u64) -> TuckerDecomp {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = random_tucker(&[8, 6, 5], &[3, 2, 2], &mut rng).unwrap();
+        TuckerDecomp {
+            core: m.core,
+            factors: m.factors,
+        }
+    }
+
+    fn app() -> App {
+        App::new(vec![ServedArtifact {
+            name: "demo".into(),
+            engine: SharedQueryEngine::new(decomp(7), 2, 1 << 20).unwrap(),
+        }])
+    }
+
+    fn get(path: &str) -> Request {
+        let raw = format!("GET {path} HTTP/1.1\r\n\r\n");
+        parse(raw.as_bytes())
+    }
+
+    fn post(path: &str, body: &str) -> Request {
+        let raw = format!(
+            "POST {path} HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        parse(raw.as_bytes())
+    }
+
+    fn parse(raw: &[u8]) -> Request {
+        let mut cursor = std::io::Cursor::new(raw.to_vec());
+        crate::http::parse_request(
+            &mut crate::http::ConnReader::new(),
+            &mut cursor,
+            &crate::http::Limits::default(),
+        )
+        .unwrap()
+    }
+
+    fn body(r: &Response) -> String {
+        String::from_utf8(r.body.clone()).unwrap()
+    }
+
+    #[test]
+    fn health_artifacts_and_shutdown() {
+        let a = app();
+        let (label, r) = handle(&a, 0, &get("/health"));
+        assert_eq!((label, r.status), ("health", 200));
+        assert_eq!(
+            body(&r),
+            "{\"status\":\"ok\",\"artifacts\":1,\"draining\":false}"
+        );
+
+        let (label, r) = handle(&a, 0, &get("/artifacts"));
+        assert_eq!((label, r.status), ("artifacts", 200));
+        assert_eq!(
+            body(&r),
+            "{\"artifacts\":[{\"name\":\"demo\",\"shape\":[8,6,5],\"ranks\":[3,2,2]}]}"
+        );
+
+        let (label, r) = handle(&a, 0, &post("/shutdown", ""));
+        assert_eq!((label, r.status), ("shutdown", 200));
+        assert!(r.close);
+        assert!(a.is_draining());
+        let (_, r) = handle(&a, 0, &get("/health"));
+        assert!(body(&r).contains("\"draining\":true"));
+    }
+
+    #[test]
+    fn query_routes_match_direct_engine_bytes() {
+        let a = app();
+        let mut direct = QueryEngine::new(decomp(7)).unwrap();
+
+        // Range query through every shard gives the renderer's exact bytes.
+        let want = render_result(
+            "0:2,1:3,:",
+            &direct
+                .query(&Range::parse("0:2,1:3,:", &[8, 6, 5]).unwrap())
+                .unwrap(),
+        );
+        for shard in 0..4 {
+            let (label, r) = handle(&a, shard, &get("/q/demo?range=0:2,1:3,:"));
+            assert_eq!((label, r.status), ("q_range", 200));
+            assert_eq!(body(&r), want);
+        }
+
+        // Element via at=.
+        let (label, r) = handle(&a, 1, &get("/q/demo?at=3,4,2"));
+        assert_eq!((label, r.status), ("q_at", 200));
+        let el = direct.element(&[3, 4, 2]).unwrap();
+        assert_eq!(body(&r), format!("{{\"spec\":\"3,4,2\",\"value\":{el}}}"));
+
+        // Aggregates.
+        let (label, r) = handle(&a, 0, &get("/q/demo?range=:,:,:&agg=sum"));
+        assert_eq!((label, r.status), ("q_agg", 200));
+        let sum = direct
+            .sum(&Range::parse(":,:,:", &[8, 6, 5]).unwrap())
+            .unwrap();
+        assert_eq!(
+            body(&r),
+            format!("{{\"spec\":\":,:,:\",\"agg\":\"sum\",\"value\":{sum}}}")
+        );
+
+        // Batch equals the direct batch through the same writer.
+        let (_, r) = handle(&a, 0, &post("/q/demo/batch", "1,2,3\n0:2,:,4\n\n"));
+        assert_eq!(r.status, 200);
+        let got = body(&r);
+        assert!(
+            got.starts_with("{\"results\":[{\"spec\":\"1,2,3\""),
+            "{got}"
+        );
+        let ranges = vec![
+            Range::parse("1,2,3", &[8, 6, 5]).unwrap(),
+            Range::parse("0:2,:,4", &[8, 6, 5]).unwrap(),
+        ];
+        let direct_batch = direct.query_batch(&ranges).unwrap();
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("results");
+        w.begin_array();
+        write_result(&mut w, "1,2,3", &direct_batch[0]);
+        write_result(&mut w, "0:2,:,4", &direct_batch[1]);
+        w.end_array();
+        w.end_object();
+        assert_eq!(got, w.finish());
+    }
+
+    #[test]
+    fn error_routes() {
+        let a = app();
+        let cases = [
+            ("/q/ghost?range=:,:,:", 404),
+            ("/q/demo", 400),                        // no range/at
+            ("/q/demo?range=:,:", 400),              // wrong arity
+            ("/q/demo?range=bogus,:,:", 400),        // unparseable term
+            ("/q/demo?range=0:99,:,:", 400),         // out of bounds
+            ("/q/demo?at=0:2,:,:", 400),             // at= must be one element
+            ("/q/demo?range=:,:,:&agg=median", 400), // unknown aggregate
+            ("/q/demo?range=1,1,1&at=1,1,1", 400),   // both selectors
+            ("/nope", 404),
+            ("/q/", 404),
+            ("/q/a/b/c", 404),
+        ];
+        for (path, status) in cases {
+            let (_, r) = handle(&a, 0, &get(path));
+            assert_eq!(r.status, status, "{path}");
+            assert!(body(&r).starts_with("{\"error\":"), "{path}");
+        }
+        let (_, r) = handle(&a, 0, &post("/health", ""));
+        assert_eq!(r.status, 405);
+        let (_, r) = handle(&a, 0, &post("/q/demo", "x"));
+        assert_eq!(r.status, 405);
+        let (_, r) = handle(&a, 0, &post("/q/ghost/batch", "1,1,1"));
+        assert_eq!(r.status, 404);
+        let (_, r) = handle(&a, 0, &post("/q/demo/batch", "\n\n"));
+        assert_eq!(r.status, 400);
+        let (_, r) = handle(&a, 0, &post("/q/demo/batch", "not-a-spec"));
+        assert_eq!(r.status, 400);
+        let mut bad = post("/q/demo/batch", "xx");
+        bad.body = vec![0xff, 0xfe];
+        let (_, r) = handle(&a, 0, &bad);
+        assert_eq!(r.status, 400);
+    }
+
+    #[test]
+    fn metrics_route_reflects_cache_traffic() {
+        let a = app();
+        for _ in 0..3 {
+            let (_, r) = handle(&a, 0, &get("/q/demo?range=0:4,:,1:4"));
+            assert_eq!(r.status, 200);
+        }
+        let (label, r) = handle(&a, 0, &get("/metrics"));
+        assert_eq!((label, r.status), ("metrics", 200));
+        let text = body(&r);
+        assert!(text.contains("dtucker_cache_events_total{artifact=\"demo\",kind=\"hit\"}"));
+        assert!(
+            text.contains("dtucker_phase_seconds_total{phase=\"plan\"}"),
+            "{text}"
+        );
+        let stats = a.artifact("demo").unwrap().engine.cache_stats();
+        assert!(stats.hits >= 1, "{stats:?}");
+    }
+}

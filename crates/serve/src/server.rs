@@ -1,0 +1,322 @@
+//! The server proper: listener, bounded admission queue, worker pool.
+//!
+//! Concurrency model:
+//!
+//! * One **acceptor** (the thread calling [`Server::run`]) polls a
+//!   nonblocking listener so it can observe the drain flag between
+//!   accepts. Accepted sockets go into a bounded queue; when the queue is
+//!   full the acceptor answers `503` with `Retry-After` itself and closes
+//!   the socket — load is shed at the door instead of building an
+//!   unbounded backlog.
+//! * `threads` **workers** pop connections and run the keep-alive loop.
+//!   Worker `i` passes shard hint `i` to the handler, so its queries pin
+//!   to engine shard `i % shard_count` and stay cache-warm (the
+//!   [`SharedQueryEngine`] is built with one shard per worker).
+//!
+//! Graceful drain: `POST /shutdown` (or [`App::begin_drain`]) flips the
+//! drain flag. The acceptor stops accepting and closes the queue; workers
+//! finish the connections already admitted — every response during drain
+//! carries `Connection: close` — then exit, and [`Server::run`] returns
+//! final counters. There is no SIGTERM hook: catching signals requires
+//! platform code outside std, so process managers should hit `/shutdown`
+//! (documented in DESIGN.md §12).
+
+use crate::error::{Result, ServeError};
+use crate::handler::{handle, App, ServedArtifact};
+use crate::http::{parse_request, write_response, ConnReader, Limits, ParseError, Response};
+use dtucker_core::TuckerDecomp;
+use dtucker_query::SharedQueryEngine;
+use dtucker_store::{ArtifactKind, ArtifactStore};
+use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Tunables for one server instance.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:7070` (port 0 picks a free port).
+    pub addr: String,
+    /// Worker thread count (also the engine shard count per artifact).
+    pub threads: usize,
+    /// Total query-cache byte budget **per artifact**, split across that
+    /// artifact's shards.
+    pub cache_bytes: usize,
+    /// Bound on connections admitted but not yet picked up by a worker;
+    /// beyond it the acceptor sheds with `503`.
+    pub max_inflight: usize,
+    /// Per-connection socket read timeout (slowloris defense).
+    pub read_timeout: Duration,
+    /// Per-connection socket write timeout.
+    pub write_timeout: Duration,
+    /// Keep-alive requests served per connection before forcing a close
+    /// (fairness under connection starvation).
+    pub max_requests_per_conn: usize,
+    /// Request parsing caps.
+    pub limits: Limits,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7070".to_string(),
+            threads: 4,
+            cache_bytes: 64 << 20,
+            max_inflight: 64,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            max_requests_per_conn: 1000,
+            limits: Limits::default(),
+        }
+    }
+}
+
+/// Final counters returned by [`Server::run`] after drain completes.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerStats {
+    /// Connections accepted over the server's lifetime.
+    pub connections: u64,
+    /// Requests answered (any route, any status).
+    pub requests: u64,
+    /// Connections turned away with `503`.
+    pub shed: u64,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Bounded MPMC queue of admitted connections.
+struct ConnQueue {
+    inner: Mutex<(VecDeque<TcpStream>, bool)>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl ConnQueue {
+    fn new(capacity: usize) -> Self {
+        ConnQueue {
+            inner: Mutex::new((VecDeque::new(), false)),
+            ready: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Admits `stream`, or hands it back if the queue is at capacity or
+    /// closed. Returns the queue depth after a successful push.
+    fn push(&self, stream: TcpStream) -> std::result::Result<usize, TcpStream> {
+        let mut g = lock(&self.inner);
+        if g.1 || g.0.len() >= self.capacity {
+            return Err(stream);
+        }
+        g.0.push_back(stream);
+        let depth = g.0.len();
+        self.ready.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocks for the next connection; `None` once closed and empty.
+    fn pop(&self) -> Option<(TcpStream, usize)> {
+        let mut g = lock(&self.inner);
+        loop {
+            if let Some(s) = g.0.pop_front() {
+                let depth = g.0.len();
+                return Some((s, depth));
+            }
+            if g.1 {
+                return None;
+            }
+            g = self.ready.wait(g).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Stops admissions and wakes every blocked worker; already-queued
+    /// connections still drain.
+    fn close(&self) {
+        lock(&self.inner).1 = true;
+        self.ready.notify_all();
+    }
+}
+
+/// Servable `(name, decomposition)` pairs plus warnings for skipped files.
+pub type LoadedArtifacts = (Vec<(String, TuckerDecomp)>, Vec<String>);
+
+/// Loads every Tucker decomposition in `store`, returning the artifacts
+/// ready to serve plus human-readable warnings for `.dts` files that were
+/// skipped (foreign/corrupt files, or artifacts of a non-Tucker kind).
+/// Callers decide where warnings go — the CLI sends them to stderr so
+/// piped JSON stays clean.
+pub fn load_store_artifacts(store: &ArtifactStore) -> Result<LoadedArtifacts> {
+    let (artifacts, skipped) = store.scan()?;
+    let mut out = Vec::new();
+    let mut warnings: Vec<String> = skipped
+        .iter()
+        .map(|(path, reason)| format!("skipping {}: {reason}", path.display()))
+        .collect();
+    for (name, kind) in artifacts {
+        match kind {
+            ArtifactKind::Tucker => out.push((name.clone(), store.load_decomposition(&name)?)),
+            other => warnings.push(format!("skipping '{name}': not servable (kind {other:?})")),
+        }
+    }
+    Ok((out, warnings))
+}
+
+/// A bound listener plus its application state, ready to [`run`](Server::run).
+pub struct Server {
+    listener: TcpListener,
+    cfg: ServeConfig,
+    app: Arc<App>,
+}
+
+impl Server {
+    /// Binds `cfg.addr` and builds one sharded engine per artifact
+    /// (shard count = `cfg.threads`, byte budget = `cfg.cache_bytes`).
+    pub fn bind(cfg: ServeConfig, artifacts: Vec<(String, TuckerDecomp)>) -> Result<Server> {
+        if artifacts.is_empty() {
+            return Err(ServeError::Config(
+                "no servable artifacts (store holds no Tucker decompositions)".to_string(),
+            ));
+        }
+        let mut cfg = cfg;
+        cfg.threads = cfg.threads.max(1);
+        cfg.max_inflight = cfg.max_inflight.max(1);
+        let mut served = Vec::with_capacity(artifacts.len());
+        for (name, decomp) in artifacts {
+            served.push(ServedArtifact {
+                engine: SharedQueryEngine::new(decomp, cfg.threads, cfg.cache_bytes)?,
+                name,
+            });
+        }
+        let listener = TcpListener::bind(&cfg.addr)?;
+        Ok(Server {
+            listener,
+            cfg,
+            app: Arc::new(App::new(served)),
+        })
+    }
+
+    /// The actually-bound address (resolves port 0).
+    pub fn local_addr(&self) -> Result<SocketAddr> {
+        Ok(self.listener.local_addr()?)
+    }
+
+    /// A handle to the shared application state (drain flag, metrics) —
+    /// lets embedders trigger [`App::begin_drain`] from outside.
+    pub fn app(&self) -> Arc<App> {
+        Arc::clone(&self.app)
+    }
+
+    /// Serves until drained. Blocks the calling thread (it becomes the
+    /// acceptor); returns the lifetime counters once every worker exits.
+    pub fn run(self) -> Result<ServerStats> {
+        let Server { listener, cfg, app } = self;
+        listener.set_nonblocking(true)?;
+        let queue = Arc::new(ConnQueue::new(cfg.max_inflight));
+
+        let mut workers = Vec::with_capacity(cfg.threads);
+        for i in 0..cfg.threads {
+            let app = Arc::clone(&app);
+            let queue = Arc::clone(&queue);
+            let cfg = cfg.clone();
+            workers.push(std::thread::spawn(move || {
+                while let Some((stream, depth)) = queue.pop() {
+                    app.metrics.set_queue_depth(depth);
+                    serve_connection(&app, i, &cfg, stream);
+                }
+            }));
+        }
+
+        while !app.is_draining() {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    // The listener is nonblocking and accepted sockets can
+                    // inherit that; connection handling needs blocking
+                    // reads with timeouts.
+                    if stream.set_nonblocking(false).is_err() {
+                        continue;
+                    }
+                    app.metrics.record_connection();
+                    if let Err(stream) = queue.push(stream) {
+                        shed(&app, &cfg, stream);
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    queue.close();
+                    for w in workers {
+                        let _ = w.join();
+                    }
+                    return Err(ServeError::Io(e));
+                }
+            }
+        }
+
+        queue.close();
+        for w in workers {
+            let _ = w.join();
+        }
+        Ok(ServerStats {
+            connections: app.metrics.connection_count(),
+            requests: app.metrics.request_count(),
+            shed: app.metrics.shed_count(),
+        })
+    }
+}
+
+/// Answers one over-capacity connection with `503` + `Retry-After` and
+/// closes it. Runs on the acceptor, so it must not block long: the write
+/// timeout caps it.
+fn shed(app: &App, cfg: &ServeConfig, mut stream: TcpStream) {
+    app.metrics.record_shed();
+    let _ = stream.set_write_timeout(Some(cfg.write_timeout));
+    let mut resp = Response::error(503, "server at capacity, retry shortly");
+    resp.retry_after = Some(1);
+    let _ = write_response(&mut stream, &resp, false);
+}
+
+/// The per-connection keep-alive loop.
+fn serve_connection(app: &App, worker: usize, cfg: &ServeConfig, mut stream: TcpStream) {
+    app.metrics.connection_started();
+    let _ = stream.set_read_timeout(Some(cfg.read_timeout));
+    let _ = stream.set_write_timeout(Some(cfg.write_timeout));
+    let _ = stream.set_nodelay(true);
+    let mut reader = ConnReader::new();
+
+    for served in 1..=cfg.max_requests_per_conn {
+        match parse_request(&mut reader, &mut stream, &cfg.limits) {
+            Ok(req) => {
+                let start = Instant::now();
+                let (route, resp) = handle(app, worker, &req);
+                app.metrics
+                    .record_request(route, resp.status, start.elapsed());
+                let keep = req.keep_alive
+                    && !resp.close
+                    && !app.is_draining()
+                    && served < cfg.max_requests_per_conn;
+                if write_response(&mut stream, &resp, keep).is_err() || !keep {
+                    break;
+                }
+            }
+            Err(ParseError::Closed) => break,
+            Err(ParseError::Timeout) => {
+                let resp = Response::error(408, "timed out waiting for a complete request");
+                app.metrics.record_request("timeout", 408, Duration::ZERO);
+                let _ = write_response(&mut stream, &resp, false);
+                break;
+            }
+            Err(ParseError::Io(_)) => break,
+            Err(ParseError::Bad { status, message }) => {
+                let resp = Response::error(status, &message);
+                app.metrics
+                    .record_request("parse_error", status, Duration::ZERO);
+                let _ = write_response(&mut stream, &resp, false);
+                break;
+            }
+        }
+    }
+    app.metrics.connection_finished();
+}

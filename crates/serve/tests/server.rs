@@ -1,0 +1,313 @@
+//! End-to-end tests over real sockets: bit-identity across thread
+//! counts, metrics, load shedding, hostile inputs, and graceful drain.
+
+use dtucker_core::TuckerDecomp;
+use dtucker_query::{QueryEngine, Range};
+use dtucker_serve::http::Limits;
+use dtucker_serve::json::{render_result, JsonWriter};
+use dtucker_serve::{App, ServeConfig, Server, ServerStats};
+use dtucker_tensor::random::random_tucker;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+fn decomp(seed: u64) -> TuckerDecomp {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let m = random_tucker(&[10, 8, 6], &[3, 2, 2], &mut rng).unwrap();
+    TuckerDecomp {
+        core: m.core,
+        factors: m.factors,
+    }
+}
+
+struct Running {
+    addr: SocketAddr,
+    app: Arc<App>,
+    handle: JoinHandle<ServerStats>,
+}
+
+fn start(cfg: ServeConfig) -> Running {
+    let mut cfg = cfg;
+    cfg.addr = "127.0.0.1:0".to_string();
+    let server = Server::bind(cfg, vec![("demo".to_string(), decomp(11))]).unwrap();
+    let addr = server.local_addr().unwrap();
+    let app = server.app();
+    let handle = std::thread::spawn(move || server.run().unwrap());
+    Running { addr, app, handle }
+}
+
+fn stop(r: Running) -> ServerStats {
+    // Belt and braces: drain via the flag even if no /shutdown was sent.
+    r.app.begin_drain();
+    r.handle.join().unwrap()
+}
+
+/// Sends `raw` on a fresh connection and returns the full response
+/// (headers + body) once the server closes it.
+fn roundtrip(addr: SocketAddr, raw: &[u8]) -> String {
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    s.write_all(raw).unwrap();
+    let mut out = Vec::new();
+    s.read_to_end(&mut out).unwrap();
+    String::from_utf8(out).unwrap()
+}
+
+fn get_close(addr: SocketAddr, path: &str) -> String {
+    roundtrip(
+        addr,
+        format!("GET {path} HTTP/1.1\r\nConnection: close\r\n\r\n").as_bytes(),
+    )
+}
+
+/// Reads exactly one response frame off a keep-alive connection: headers
+/// up to the blank line, then `Content-Length` body bytes.
+fn read_one_response(s: &mut TcpStream) -> String {
+    let mut buf = Vec::new();
+    let mut byte = [0u8; 1];
+    while !buf.ends_with(b"\r\n\r\n") {
+        assert_eq!(s.read(&mut byte).unwrap(), 1, "EOF inside headers");
+        buf.push(byte[0]);
+    }
+    let head = String::from_utf8(buf.clone()).unwrap();
+    let len: usize = head
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Length: "))
+        .unwrap()
+        .trim()
+        .parse()
+        .unwrap();
+    let mut body = vec![0u8; len];
+    s.read_exact(&mut body).unwrap();
+    buf.extend_from_slice(&body);
+    String::from_utf8(buf).unwrap()
+}
+
+fn body_of(response: &str) -> &str {
+    response.split("\r\n\r\n").nth(1).unwrap()
+}
+
+fn status_of(response: &str) -> u16 {
+    response
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap()
+}
+
+#[test]
+fn responses_are_bit_identical_across_thread_counts() {
+    let mut direct = QueryEngine::new(decomp(11)).unwrap();
+    let specs = ["2:5,0:3,:", "7,4,5", ":,:,:", "0:10,3,1:4"];
+    let want: Vec<String> = specs
+        .iter()
+        .map(|spec| {
+            let r = Range::parse(spec, &[10, 8, 6]).unwrap();
+            render_result(spec, &direct.query(&r).unwrap())
+        })
+        .collect();
+
+    for threads in [1, 2, 8] {
+        let running = start(ServeConfig {
+            threads,
+            ..ServeConfig::default()
+        });
+        for (spec, want_body) in specs.iter().zip(&want) {
+            // Twice per spec: a cold and a cache-warm answer must agree too.
+            for _ in 0..2 {
+                let resp = get_close(running.addr, &format!("/q/demo?range={spec}"));
+                assert_eq!(status_of(&resp), 200, "threads={threads} spec={spec}");
+                assert_eq!(body_of(&resp), want_body, "threads={threads} spec={spec}");
+            }
+        }
+        // Aggregate and batch bytes agree with the direct renderers as well.
+        let sum = direct
+            .sum(&Range::parse(":,:,:", &[10, 8, 6]).unwrap())
+            .unwrap();
+        let resp = get_close(running.addr, "/q/demo?range=:,:,:&agg=sum");
+        assert_eq!(
+            body_of(&resp),
+            format!("{{\"spec\":\":,:,:\",\"agg\":\"sum\",\"value\":{sum}}}")
+        );
+        let batch = roundtrip(
+            running.addr,
+            b"POST /q/demo/batch HTTP/1.1\r\nConnection: close\r\nContent-Length: 12\r\n\r\n7,4,5\n2,2,2\n",
+        );
+        let direct_batch = direct
+            .query_batch(&[
+                Range::parse("7,4,5", &[10, 8, 6]).unwrap(),
+                Range::parse("2,2,2", &[10, 8, 6]).unwrap(),
+            ])
+            .unwrap();
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("results");
+        w.begin_array();
+        dtucker_serve::json::write_result(&mut w, "7,4,5", &direct_batch[0]);
+        dtucker_serve::json::write_result(&mut w, "2,2,2", &direct_batch[1]);
+        w.end_array();
+        w.end_object();
+        assert_eq!(body_of(&batch), w.finish(), "threads={threads}");
+        stop(running);
+    }
+}
+
+#[test]
+fn keep_alive_serves_many_requests_on_one_connection() {
+    let running = start(ServeConfig::default());
+    let mut s = TcpStream::connect(running.addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    for i in 0..5 {
+        s.write_all(b"GET /health HTTP/1.1\r\n\r\n").unwrap();
+        let resp = read_one_response(&mut s);
+        assert!(resp.starts_with("HTTP/1.1 200"), "request {i}: {resp}");
+        assert!(resp.contains("Connection: keep-alive"), "request {i}");
+    }
+    let stats = stop(running);
+    assert_eq!(stats.connections, 1);
+    assert!(stats.requests >= 5);
+}
+
+#[test]
+fn metrics_show_cache_hits_on_repeated_queries() {
+    let running = start(ServeConfig {
+        threads: 1,
+        ..ServeConfig::default()
+    });
+    for _ in 0..4 {
+        let resp = get_close(running.addr, "/q/demo?range=1:6,2:7,:");
+        assert_eq!(status_of(&resp), 200);
+    }
+    let metrics = get_close(running.addr, "/metrics");
+    let text = body_of(&metrics);
+    let hits_line = text
+        .lines()
+        .find(|l| l.starts_with("dtucker_cache_events_total{artifact=\"demo\",kind=\"hit\"}"))
+        .unwrap_or_else(|| panic!("no hit counter in:\n{text}"));
+    let hits: u64 = hits_line.rsplit(' ').next().unwrap().parse().unwrap();
+    assert!(hits > 0, "{hits_line}");
+    assert!(text.contains("dtucker_requests_total{route=\"q_range\",status=\"200\"} 4"));
+    assert!(text.contains("dtucker_phase_seconds_total{phase=\"plan\"}"));
+    assert!(text.contains("dtucker_phase_calls_total{phase=\"serve.handle\"}"));
+    assert!(text.contains("dtucker_request_seconds_bucket{le=\"+Inf\"}"));
+    stop(running);
+}
+
+#[test]
+fn overload_sheds_with_503_and_retry_after() {
+    let running = start(ServeConfig {
+        threads: 1,
+        max_inflight: 1,
+        read_timeout: Duration::from_secs(5),
+        ..ServeConfig::default()
+    });
+    // The single worker picks this connection up and blocks reading it.
+    let busy = TcpStream::connect(running.addr).unwrap();
+    std::thread::sleep(Duration::from_millis(300));
+    // This one fills the only queue slot.
+    let queued = TcpStream::connect(running.addr).unwrap();
+    std::thread::sleep(Duration::from_millis(300));
+    // Queue full: the acceptor must shed this connection itself.
+    let mut s = TcpStream::connect(running.addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let mut out = Vec::new();
+    s.read_to_end(&mut out).unwrap();
+    let resp = String::from_utf8(out).unwrap();
+    assert!(resp.starts_with("HTTP/1.1 503"), "{resp}");
+    assert!(resp.contains("Retry-After: 1"), "{resp}");
+    assert!(resp.contains("{\"error\":"), "{resp}");
+    drop(busy);
+    drop(queued);
+    let stats = stop(running);
+    assert!(stats.shed >= 1, "{stats:?}");
+}
+
+#[test]
+fn slowloris_is_cut_off_by_the_read_timeout() {
+    let running = start(ServeConfig {
+        threads: 1,
+        read_timeout: Duration::from_millis(200),
+        ..ServeConfig::default()
+    });
+    let mut s = TcpStream::connect(running.addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    // A drip-fed, never-finished request line.
+    s.write_all(b"GET /heal").unwrap();
+    let mut out = Vec::new();
+    s.read_to_end(&mut out).unwrap();
+    let resp = String::from_utf8(out).unwrap();
+    assert!(resp.starts_with("HTTP/1.1 408"), "{resp}");
+    // The server is still healthy afterwards.
+    assert_eq!(status_of(&get_close(running.addr, "/health")), 200);
+    stop(running);
+}
+
+#[test]
+fn hostile_requests_get_4xx_not_a_dead_server() {
+    let limits = Limits {
+        max_request_line: 128,
+        max_header_count: 8,
+        max_header_bytes: 256,
+        max_body_bytes: 64,
+    };
+    let running = start(ServeConfig {
+        limits,
+        ..ServeConfig::default()
+    });
+    let a = running.addr;
+
+    // Oversized request line / headers / body.
+    let long_line = format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(500));
+    assert_eq!(status_of(&roundtrip(a, long_line.as_bytes())), 414);
+    let fat_headers = format!("GET / HTTP/1.1\r\nX: {}\r\n\r\n", "y".repeat(500));
+    assert_eq!(status_of(&roundtrip(a, fat_headers.as_bytes())), 431);
+    let big_body = b"POST /q/demo/batch HTTP/1.1\r\nContent-Length: 5000\r\n\r\n";
+    assert_eq!(status_of(&roundtrip(a, big_body)), 413);
+
+    // Garbage pipelined after a valid request: the valid one is answered,
+    // the garbage earns a 400 and a close.
+    let resp = roundtrip(a, b"GET /health HTTP/1.1\r\n\r\n%%%garbage%%%\r\n\r\n");
+    let statuses: Vec<&str> = resp.matches("HTTP/1.1 ").collect();
+    assert_eq!(statuses.len(), 2, "{resp}");
+    assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+    assert!(resp.contains("HTTP/1.1 400"), "{resp}");
+
+    // Malformed range specs: 400 with a JSON error body.
+    for path in [
+        "/q/demo?range=0:99,:,:",
+        "/q/demo?range=oops",
+        "/q/demo?range=1:0,:,:",
+        "/q/demo?at=%zz",
+    ] {
+        let resp = get_close(a, path);
+        assert_eq!(status_of(&resp), 400, "{path}");
+        assert!(body_of(&resp).starts_with("{\"error\":"), "{path}: {resp}");
+    }
+
+    // And after all that abuse, real queries still work.
+    assert_eq!(status_of(&get_close(a, "/q/demo?at=1,2,3")), 200);
+    stop(running);
+}
+
+#[test]
+fn shutdown_endpoint_drains_gracefully() {
+    let running = start(ServeConfig {
+        threads: 2,
+        ..ServeConfig::default()
+    });
+    assert_eq!(status_of(&get_close(running.addr, "/health")), 200);
+    let resp = roundtrip(
+        running.addr,
+        b"POST /shutdown HTTP/1.1\r\nConnection: close\r\n\r\n",
+    );
+    assert_eq!(status_of(&resp), 200);
+    assert_eq!(body_of(&resp), "{\"draining\":true}");
+    // run() returns on its own — no begin_drain() needed here.
+    let stats = running.handle.join().unwrap();
+    assert!(stats.connections >= 2, "{stats:?}");
+    assert_eq!(stats.shed, 0);
+}

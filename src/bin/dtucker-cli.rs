@@ -12,7 +12,10 @@
 //! dtucker-cli reconstruct --decomp d.dts | --sliced art.dts  --out xhat.dten [--range SPEC]
 //! dtucker-cli query       --decomp d.dts  --at i,j,k | --range SPEC | --stdin
 //!                         [--agg sum|mean|fro] [--out box.dten] [--cache-mb N]
-//!                         [--profile] [--verify]
+//!                         [--profile] [--verify] [--format text|json]
+//! dtucker-cli list        --store DIR [--format text|json]
+//! dtucker-cli serve       --store DIR [--addr HOST:PORT] [--threads N]
+//!                         [--cache-mb N] [--max-inflight N]
 //! ```
 //!
 //! `compress` never materializes the input tensor: slices stream from the
@@ -27,11 +30,19 @@
 //! comma-separated term per mode: `i`, `lo:hi`, `lo:`, `:hi`, or `:`
 //! (e.g. `3,0:10,:`). `--stdin` reads one spec per line and serves them
 //! as a batch, reordered so queries sharing a contraction prefix hit the
-//! partial-contraction cache.
+//! partial-contraction cache. `--format json` emits the exact same
+//! encoding the HTTP server uses (one shared writer), with diagnostics on
+//! stderr so piped stdout stays pure JSON.
+//!
+//! `serve` starts the std-only HTTP/1.1 server over every Tucker artifact
+//! in a store directory (see DESIGN.md §12 for the API); `list` shows a
+//! store's contents, with per-file warnings on stderr.
 
+use dtucker::serve::json::{write_aggregate, write_result, JsonWriter};
+use dtucker::serve::{load_store_artifacts, ServeConfig, Server};
 use dtucker::{
-    DTucker, DTuckerConfig, DTuckerOutput, DenseTensor, QueryEngine, Range, SliceSource,
-    SlicedTensor,
+    ArtifactStore, DTucker, DTuckerConfig, DTuckerOutput, DenseTensor, QueryEngine, Range,
+    SliceSource, SlicedTensor,
 };
 use dtucker_baselines::{hooi, hosvd, mach, rtd, st_hosvd, HooiConfig, MachConfig, RtdConfig};
 use dtucker_data::{generate, parse_scale, Dataset};
@@ -68,6 +79,9 @@ fn fail(msg: &str) -> ExitCode {
     eprintln!("  dtucker-cli reconstruct --decomp <d.dts> | --sliced <art.dts>  --out <xhat.dten> [--range SPEC]");
     eprintln!("  dtucker-cli query     --decomp <d.dts>  --at i,j,k | --range SPEC | --stdin");
     eprintln!("                        [--agg sum|mean|fro] [--out <box.dten>] [--cache-mb N] [--profile] [--verify]");
+    eprintln!("                        [--format text|json]");
+    eprintln!("  dtucker-cli list      --store <dir> [--format text|json]");
+    eprintln!("  dtucker-cli serve     --store <dir> [--addr HOST:PORT] [--threads N] [--cache-mb N] [--max-inflight N]");
     ExitCode::from(2)
 }
 
@@ -81,6 +95,8 @@ fn main() -> ExitCode {
         Some("resume") => cmd_resume(&args),
         Some("reconstruct") => cmd_reconstruct(&args),
         Some("query") => cmd_query(&args),
+        Some("list") => cmd_list(&args),
+        Some("serve") => cmd_serve(&args),
         _ => fail("missing or unknown subcommand"),
     }
 }
@@ -524,6 +540,12 @@ fn try_query(args: &[String]) -> Result<(), String> {
     }
     let verify = args.iter().any(|a| a == "--verify");
     let profile = args.iter().any(|a| a == "--profile");
+    let format = opt(args, "format").unwrap_or_else(|| "text".into());
+    let json = match format.as_str() {
+        "json" => true,
+        "text" => false,
+        other => return Err(format!("unknown --format '{other}' (expected text|json)")),
+    };
     let at = opt(args, "at");
     let range = opt(args, "range");
     let use_stdin = args.iter().any(|a| a == "--stdin");
@@ -569,6 +591,17 @@ fn try_query(args: &[String]) -> Result<(), String> {
         None
     };
 
+    // In JSON mode every result goes through the same writer the HTTP
+    // server uses, wrapped as {"results":[...]} — stdout carries nothing
+    // but the document.
+    let mut json_out = json.then(|| {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("results");
+        w.begin_array();
+        w
+    });
+
     let t0 = Instant::now();
     match agg.as_deref() {
         Some(kind) => {
@@ -589,7 +622,10 @@ fn try_query(args: &[String]) -> Result<(), String> {
                     };
                     check_close_scalar(spec, v, want, mass)?;
                 }
-                println!("{spec} {kind} = {v:.12e}");
+                match &mut json_out {
+                    Some(w) => write_aggregate(w, spec, kind, v),
+                    None => println!("{spec} {kind} = {v:.12e}"),
+                }
             }
         }
         None => {
@@ -603,48 +639,179 @@ fn try_query(args: &[String]) -> Result<(), String> {
                     let sub = full.subtensor(r.bounds()).map_err(|e| e.to_string())?;
                     check_close(spec, t, &sub)?;
                 }
-                if r.numel() == 1 {
-                    println!("{spec} = {:.12e}", t.as_slice()[0]);
-                } else {
-                    println!(
+                match &mut json_out {
+                    Some(w) => write_result(w, spec, t),
+                    None if r.numel() == 1 => println!("{spec} = {:.12e}", t.as_slice()[0]),
+                    None => println!(
                         "{spec}  shape {:?}  ‖·‖_F = {:.6e}",
                         t.shape(),
                         t.fro_norm()
-                    );
+                    ),
                 }
             }
             if let Some(path) = out_path {
                 io::save(&results[0], &path).map_err(|e| e.to_string())?;
-                println!("wrote {path}");
+                if json {
+                    eprintln!("wrote {path}");
+                } else {
+                    println!("wrote {path}");
+                }
             }
         }
     }
+    if let Some(mut w) = json_out {
+        w.end_array();
+        w.end_object();
+        println!("{}", w.finish());
+    }
     let elapsed = t0.elapsed();
+    // Diagnostics go to stderr in JSON mode so piped stdout stays a pure
+    // document.
+    let diag = |line: String| {
+        if json {
+            eprintln!("{line}");
+        } else {
+            println!("{line}");
+        }
+    };
     if verify {
-        println!(
+        diag(format!(
             "verify      OK: {} answer(s) match naive reconstruction",
             specs.len()
-        );
+        ));
     }
     if profile {
-        println!(
+        diag(format!(
             "served      {} quer{} in {:.4}s",
             specs.len(),
             if specs.len() == 1 { "y" } else { "ies" },
             elapsed.as_secs_f64()
-        );
-        println!("{}", engine.profile().report());
+        ));
+        diag(engine.profile().report());
         let s = engine.cache_stats();
-        println!(
+        diag(format!(
             "cache       {} hits / {} misses ({:.0}% hit rate), {} insertions, {} evictions",
             s.hits,
             s.misses,
             100.0 * s.hit_rate(),
             s.insertions,
             s.evictions
-        );
+        ));
+        diag(format!(
+            "cache use   {} / {} bytes across {} entr{}",
+            engine.cache_used_bytes(),
+            engine.cache_budget_bytes(),
+            engine.cache_len(),
+            if engine.cache_len() == 1 { "y" } else { "ies" }
+        ));
     }
     Ok(())
+}
+
+/// Lists a store directory's artifacts. Warnings about unreadable or
+/// foreign `.dts` files go to stderr so `--format json` stdout stays a
+/// clean document for pipelines.
+fn try_list(args: &[String]) -> Result<(), String> {
+    let dir = opt(args, "store").ok_or("--store is required")?;
+    let format = opt(args, "format").unwrap_or_else(|| "text".into());
+    if format != "text" && format != "json" {
+        return Err(format!("unknown --format '{format}' (expected text|json)"));
+    }
+    let store = ArtifactStore::open(&dir).map_err(|e| e.to_string())?;
+    let (artifacts, skipped) = store.scan().map_err(|e| e.to_string())?;
+    for (path, reason) in &skipped {
+        eprintln!("warning: skipping {}: {reason}", path.display());
+    }
+    if format == "json" {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("artifacts");
+        w.begin_array();
+        for (name, kind) in &artifacts {
+            w.begin_object();
+            w.key("name");
+            w.string(name);
+            w.key("kind");
+            w.string(&format!("{kind:?}").to_ascii_lowercase());
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+        println!("{}", w.finish());
+    } else {
+        for (name, kind) in &artifacts {
+            println!("{name}  {}", format!("{kind:?}").to_ascii_lowercase());
+        }
+        println!("{} artifact(s) in {dir}", artifacts.len());
+    }
+    Ok(())
+}
+
+fn cmd_list(args: &[String]) -> ExitCode {
+    match try_list(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => fail(&e),
+    }
+}
+
+/// Starts the HTTP server over every Tucker decomposition in a store.
+/// Blocks until drained via `POST /shutdown`.
+fn try_serve(args: &[String]) -> Result<(), String> {
+    let dir = opt(args, "store").ok_or("--store is required")?;
+    let mut cfg = ServeConfig::default();
+    if let Some(addr) = opt(args, "addr") {
+        cfg.addr = addr;
+    }
+    if let Some(v) = opt(args, "threads") {
+        cfg.threads = v
+            .parse()
+            .map_err(|_| format!("--threads '{v}' is not a number"))?;
+    }
+    if let Some(v) = opt(args, "cache-mb") {
+        let mb: usize = v
+            .parse()
+            .map_err(|_| format!("--cache-mb '{v}' is not a number"))?;
+        cfg.cache_bytes = mb << 20;
+    }
+    if let Some(v) = opt(args, "max-inflight") {
+        cfg.max_inflight = v
+            .parse()
+            .map_err(|_| format!("--max-inflight '{v}' is not a number"))?;
+    }
+
+    let store = ArtifactStore::open(&dir).map_err(|e| e.to_string())?;
+    let (artifacts, warnings) = load_store_artifacts(&store).map_err(|e| e.to_string())?;
+    for w in &warnings {
+        eprintln!("warning: {w}");
+    }
+    for (name, d) in &artifacts {
+        println!(
+            "serving     {name}: shape {:?}, ranks {:?}",
+            d.full_shape(),
+            d.ranks()
+        );
+    }
+    let server = Server::bind(cfg, artifacts).map_err(|e| e.to_string())?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    println!("listening on http://{addr}");
+    // The e2e harness starts this binary in the background and parses the
+    // line above; make sure it is visible before we block in accept.
+    use std::io::Write as _;
+    std::io::stdout().flush().map_err(|e| e.to_string())?;
+
+    let stats = server.run().map_err(|e| e.to_string())?;
+    println!(
+        "drained     {} connection(s), {} request(s), {} shed",
+        stats.connections, stats.requests, stats.shed
+    );
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> ExitCode {
+    match try_serve(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => fail(&e),
+    }
 }
 
 #[cfg(test)]

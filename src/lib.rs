@@ -26,6 +26,8 @@ pub use dtucker_data as data;
 pub use dtucker_linalg as linalg;
 /// Factored reconstruction queries against stored decompositions.
 pub use dtucker_query as query;
+/// Concurrent HTTP query serving over stored artifacts.
+pub use dtucker_serve as serve;
 /// Sketching substrate (FFT, CountSketch, TensorSketch).
 pub use dtucker_sketch as sketch;
 /// Out-of-core slice sourcing and persistent artifacts (checkpoint/resume).
@@ -39,6 +41,7 @@ pub use dtucker_core::{
     SweepState, SyntheticSource, TuckerDecomp,
 };
 pub use dtucker_linalg::Matrix;
-pub use dtucker_query::{QueryEngine, Range};
+pub use dtucker_query::{QueryEngine, Range, SharedQueryEngine};
+pub use dtucker_serve::{ServeConfig, Server};
 pub use dtucker_store::{ArtifactStore, DtenSliceSource, HooiCheckpoint};
 pub use dtucker_tensor::DenseTensor;

@@ -1,0 +1,198 @@
+//! Subprocess tests for the serving surface of `dtucker-cli`: `list`
+//! (stdout must stay a clean JSON document while warnings go to stderr),
+//! `query --format json` (shared encoder with the server), and a full
+//! `serve` session over TCP ending in a graceful drain.
+
+use dtucker::serve::json::render_result;
+use dtucker::{QueryEngine, Range, TuckerDecomp};
+use dtucker_tensor::random::random_tucker;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+use std::time::Duration;
+
+const CLI: &str = env!("CARGO_BIN_EXE_dtucker-cli");
+
+fn decomp(seed: u64) -> TuckerDecomp {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let m = random_tucker(&[7, 6, 5], &[2, 2, 3], &mut rng).unwrap();
+    TuckerDecomp {
+        core: m.core,
+        factors: m.factors,
+    }
+}
+
+/// A fresh store directory holding one valid decomposition named `demo`
+/// and one junk `.dts` file that every scan must skip with a warning.
+fn store_with_junk(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dtucker_serving_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dtucker::store::write_decomposition(dir.join("demo.dts"), &decomp(21)).unwrap();
+    std::fs::write(dir.join("junk.dts"), b"not a dtucker artifact at all").unwrap();
+    dir
+}
+
+#[test]
+fn list_keeps_stdout_clean_json_despite_junk_files() {
+    let dir = store_with_junk("list");
+    let out = Command::new(CLI)
+        .args(["list", "--store", dir.to_str().unwrap(), "--format", "json"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    // stdout is exactly one JSON document — the junk file's warning must
+    // not corrupt it.
+    assert_eq!(
+        stdout.trim(),
+        "{\"artifacts\":[{\"name\":\"demo\",\"kind\":\"tucker\"}]}"
+    );
+    assert!(stderr.contains("warning: skipping"), "{stderr}");
+    assert!(stderr.contains("junk.dts"), "{stderr}");
+
+    // Text mode warns on stderr too.
+    let out = Command::new(CLI)
+        .args(["list", "--store", dir.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("demo  tucker"), "{stdout}");
+    assert!(!stdout.contains("warning"), "{stdout}");
+    assert!(String::from_utf8(out.stderr).unwrap().contains("junk.dts"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn query_json_shares_the_server_encoding() {
+    let dir = store_with_junk("qjson");
+    let artifact = dir.join("demo.dts");
+    let mut engine = QueryEngine::open(&artifact).unwrap();
+
+    // Element query: stdout is {"results":[<render_result bytes>]}.
+    let spec = "1,2,3";
+    let r = Range::parse(spec, &[7, 6, 5]).unwrap();
+    let want = render_result(spec, &engine.query(&r).unwrap());
+    let out = Command::new(CLI)
+        .args([
+            "query",
+            "--decomp",
+            artifact.to_str().unwrap(),
+            "--at",
+            spec,
+            "--format",
+            "json",
+            "--verify",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(stdout.trim(), format!("{{\"results\":[{want}]}}"));
+    // --verify chatter lands on stderr, not in the document.
+    assert!(String::from_utf8(out.stderr).unwrap().contains("verify"));
+
+    // Aggregates use the shared aggregate shape.
+    let out = Command::new(CLI)
+        .args([
+            "query",
+            "--decomp",
+            artifact.to_str().unwrap(),
+            "--range",
+            ":,:,:",
+            "--agg",
+            "sum",
+            "--format",
+            "json",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let sum = engine
+        .sum(&Range::parse(":,:,:", &[7, 6, 5]).unwrap())
+        .unwrap();
+    assert_eq!(
+        stdout.trim(),
+        format!("{{\"results\":[{{\"spec\":\":,:,:\",\"agg\":\"sum\",\"value\":{sum}}}]}}")
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_session_end_to_end() {
+    let dir = store_with_junk("serve");
+    let mut child = Command::new(CLI)
+        .args([
+            "serve",
+            "--store",
+            dir.to_str().unwrap(),
+            "--addr",
+            "127.0.0.1:0",
+            "--threads",
+            "2",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+
+    // Parse the bound address off the child's stdout.
+    let mut reader = BufReader::new(child.stdout.take().unwrap());
+    let mut addr = None;
+    let mut banner = String::new();
+    for _ in 0..10 {
+        let mut line = String::new();
+        if reader.read_line(&mut line).unwrap() == 0 {
+            break;
+        }
+        banner.push_str(&line);
+        if let Some(rest) = line.trim().strip_prefix("listening on http://") {
+            addr = Some(rest.to_string());
+            break;
+        }
+    }
+    let addr = addr.unwrap_or_else(|| panic!("no listening line in:\n{banner}"));
+    assert!(banner.contains("serving     demo"), "{banner}");
+
+    let roundtrip = |raw: String| -> String {
+        let mut s = TcpStream::connect(&addr).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        s.write_all(raw.as_bytes()).unwrap();
+        let mut out = Vec::new();
+        s.read_to_end(&mut out).unwrap();
+        String::from_utf8(out).unwrap()
+    };
+
+    // Element answer matches the direct engine through the shared encoder.
+    let mut engine = QueryEngine::open(dir.join("demo.dts")).unwrap();
+    let r = Range::parse("2,3,4", &[7, 6, 5]).unwrap();
+    let want = render_result("2,3,4", &engine.query(&r).unwrap());
+    let resp = roundtrip("GET /q/demo?at=2,3,4 HTTP/1.1\r\nConnection: close\r\n\r\n".into());
+    assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+    assert!(resp.ends_with(&want), "{resp}");
+
+    // Batch and metrics answer too.
+    let resp = roundtrip(
+        "POST /q/demo/batch HTTP/1.1\r\nConnection: close\r\nContent-Length: 12\r\n\r\n2,3,4\n0,0,0\n"
+            .into(),
+    );
+    assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+    assert!(resp.contains("\"results\":["), "{resp}");
+    let resp = roundtrip("GET /metrics HTTP/1.1\r\nConnection: close\r\n\r\n".into());
+    assert!(resp.contains("dtucker_requests_total"), "{resp}");
+
+    // Graceful drain: the process exits cleanly after /shutdown.
+    let resp = roundtrip("POST /shutdown HTTP/1.1\r\nConnection: close\r\n\r\n".into());
+    assert!(resp.contains("{\"draining\":true}"), "{resp}");
+    let status = child.wait().unwrap();
+    assert!(status.success());
+    let mut rest = String::new();
+    reader.read_to_string(&mut rest).unwrap();
+    assert!(rest.contains("drained"), "{rest}");
+    std::fs::remove_dir_all(&dir).ok();
+}
