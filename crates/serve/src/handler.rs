@@ -138,11 +138,17 @@ pub fn handle(app: &App, shard: usize, req: &Request) -> (&'static str, Response
             }
         }
         (Method::Post, path) if path.starts_with("/q/") && path.ends_with("/batch") => {
-            let name = &path[3..path.len() - "/batch".len()];
-            if name.is_empty() || name.contains('/') {
-                ("other", not_found(path))
-            } else {
-                ("q_batch", batch(app, shard, name, req))
+            // strip_prefix + strip_suffix instead of index arithmetic:
+            // "/q/batch" satisfies both guards but holds no name, and a
+            // slice like `&path[3..2]` would panic.
+            match path
+                .strip_prefix("/q/")
+                .and_then(|rest| rest.strip_suffix("/batch"))
+            {
+                Some(name) if !name.is_empty() && !name.contains('/') => {
+                    ("q_batch", batch(app, shard, name, req))
+                }
+                _ => ("other", not_found(path)),
             }
         }
         // Right route, wrong method.
@@ -486,6 +492,12 @@ mod tests {
         let (_, r) = handle(&a, 0, &post("/q/demo", "x"));
         assert_eq!(r.status, 405);
         let (_, r) = handle(&a, 0, &post("/q/ghost/batch", "1,1,1"));
+        assert_eq!(r.status, 404);
+        // Regression: "/q/batch" starts with "/q/" AND ends with "/batch";
+        // naive slicing produced &path[3..2] and panicked.
+        let (_, r) = handle(&a, 0, &post("/q/batch", "1,1,1"));
+        assert_eq!(r.status, 404);
+        let (_, r) = handle(&a, 0, &post("/q//batch", "1,1,1"));
         assert_eq!(r.status, 404);
         let (_, r) = handle(&a, 0, &post("/q/demo/batch", "\n\n"));
         assert_eq!(r.status, 400);

@@ -15,6 +15,7 @@
 //! rejected with `501`.
 
 use std::io::{self, Read, Write};
+use std::time::{Duration, Instant};
 
 /// Hard caps applied while parsing one request.
 #[derive(Debug, Clone, Copy)]
@@ -27,6 +28,13 @@ pub struct Limits {
     pub max_header_bytes: usize,
     /// Maximum `Content-Length` accepted for a body.
     pub max_body_bytes: usize,
+    /// Wall-clock budget for receiving one complete request. The socket
+    /// read timeout only bounds each *read*; a client dripping one byte
+    /// per read could otherwise hold a worker for hours while never
+    /// stalling long enough to trip it. Once this deadline passes the
+    /// parse fails with [`ParseError::Timeout`] (answered with `408`)
+    /// no matter how recently the last byte arrived.
+    pub max_request_duration: Duration,
 }
 
 impl Default for Limits {
@@ -36,6 +44,7 @@ impl Default for Limits {
             max_header_count: 64,
             max_header_bytes: 16 << 10,
             max_body_bytes: 1 << 20,
+            max_request_duration: Duration::from_secs(30),
         }
     }
 }
@@ -144,8 +153,17 @@ impl ConnReader {
         }
     }
 
-    fn next_byte(&mut self, stream: &mut impl Read) -> Result<Option<u8>, ParseError> {
+    /// Deadline checks only happen when the buffer is empty and a fresh
+    /// read is needed — once per syscall, not once per byte.
+    fn next_byte(
+        &mut self,
+        stream: &mut impl Read,
+        deadline: Instant,
+    ) -> Result<Option<u8>, ParseError> {
         if self.pos == self.len {
+            if Instant::now() >= deadline {
+                return Err(ParseError::Timeout);
+            }
             self.pos = 0;
             self.len = stream.read(&mut self.buf).map_err(io_err)?;
             if self.len == 0 {
@@ -165,10 +183,11 @@ impl ConnReader {
         stream: &mut impl Read,
         cap: usize,
         overflow_status: u16,
+        deadline: Instant,
     ) -> Result<Option<String>, ParseError> {
         let mut line: Vec<u8> = Vec::new();
         loop {
-            match self.next_byte(stream)? {
+            match self.next_byte(stream, deadline)? {
                 None if line.is_empty() => return Ok(None),
                 None => return Err(bad(400, "connection closed mid-line")),
                 Some(b'\n') => break,
@@ -188,7 +207,12 @@ impl ConnReader {
             .map_err(|_| bad(400, "non-UTF-8 bytes in header section"))
     }
 
-    fn read_exact_body(&mut self, stream: &mut impl Read, n: usize) -> Result<Vec<u8>, ParseError> {
+    fn read_exact_body(
+        &mut self,
+        stream: &mut impl Read,
+        n: usize,
+        deadline: Instant,
+    ) -> Result<Vec<u8>, ParseError> {
         let mut body = Vec::with_capacity(n);
         // Drain what is already buffered first.
         while body.len() < n && self.pos < self.len {
@@ -196,6 +220,9 @@ impl ConnReader {
             self.pos += 1;
         }
         while body.len() < n {
+            if Instant::now() >= deadline {
+                return Err(ParseError::Timeout);
+            }
             let mut chunk = vec![0u8; (n - body.len()).min(8 << 10)];
             let got = stream.read(&mut chunk).map_err(io_err)?;
             if got == 0 {
@@ -236,11 +263,14 @@ pub fn parse_request<S: Read + Write>(
     stream: &mut S,
     limits: &Limits,
 ) -> Result<Request, ParseError> {
+    // The deadline clock starts when we begin looking for a request, so
+    // it also bounds drip-fed request lines, headers and bodies.
+    let deadline = Instant::now() + limits.max_request_duration;
     // Tolerate a small number of stray blank lines before the request
     // line (RFC 9112 §2.2), but not an unbounded stream of them.
     let mut line = None;
     for _ in 0..4 {
-        match reader.read_line(stream, limits.max_request_line, 414)? {
+        match reader.read_line(stream, limits.max_request_line, 414, deadline)? {
             None => return Err(ParseError::Closed),
             Some(l) if l.is_empty() => continue,
             Some(l) => {
@@ -294,7 +324,7 @@ pub fn parse_request<S: Read + Write>(
     let mut header_bytes = 0usize;
     loop {
         let l = reader
-            .read_line(stream, limits.max_request_line, 431)?
+            .read_line(stream, limits.max_request_line, 431, deadline)?
             .ok_or_else(|| bad(400, "connection closed before end of headers"))?;
         if l.is_empty() {
             break;
@@ -333,7 +363,25 @@ pub fn parse_request<S: Read + Write>(
     if req.header("transfer-encoding").is_some() {
         return Err(bad(501, "transfer-encoding is not supported"));
     }
-    if let Some(cl) = req.header("content-length") {
+    // Content-Length hygiene (RFC 9112 §6.3): conflicting duplicates are
+    // a request-smuggling vector and must be rejected, and the value is
+    // digits only — `usize::parse` alone would also accept a leading `+`.
+    let mut content_length: Option<String> = None;
+    for (name, value) in &req.headers {
+        if name != "content-length" {
+            continue;
+        }
+        match &content_length {
+            Some(prev) if prev != value => {
+                return Err(bad(400, "conflicting content-length headers"));
+            }
+            _ => content_length = Some(value.clone()),
+        }
+    }
+    if let Some(cl) = content_length {
+        if cl.is_empty() || !cl.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(bad(400, format!("invalid content-length '{cl}'")));
+        }
         let n: usize = cl
             .parse()
             .map_err(|_| bad(400, format!("invalid content-length '{cl}'")))?;
@@ -349,7 +397,7 @@ pub fn parse_request<S: Read + Write>(
                     .write_all(b"HTTP/1.1 100 Continue\r\n\r\n")
                     .map_err(io_err)?;
             }
-            req.body = reader.read_exact_body(stream, n)?;
+            req.body = reader.read_exact_body(stream, n, deadline)?;
         }
     }
     Ok(req)
@@ -620,6 +668,7 @@ mod tests {
             max_header_count: 2,
             max_header_bytes: 64,
             max_body_bytes: 16,
+            ..Limits::default()
         };
         // Request line too long → 414.
         let long = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(200));
@@ -638,6 +687,66 @@ mod tests {
         // Declared body over the cap → 413 without reading it.
         let big = b"POST / HTTP/1.1\r\nContent-Length: 9999\r\n\r\n";
         assert_eq!(status_of(parse_with(big, &limits).err().unwrap()), 413);
+    }
+
+    #[test]
+    fn content_length_hygiene() {
+        // Conflicting duplicates are a smuggling vector → 400.
+        assert_eq!(
+            status_of(
+                parse(b"POST / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 3\r\n\r\nok")
+                    .err()
+                    .unwrap()
+            ),
+            400
+        );
+        // Identical duplicates are tolerated (RFC 9110 §8.6).
+        let r =
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 2\r\n\r\nok").unwrap();
+        assert_eq!(r.body, b"ok");
+        // Digits only: usize::parse alone would accept a leading '+'.
+        for raw in [
+            b"POST / HTTP/1.1\r\nContent-Length: +2\r\n\r\nok".as_slice(),
+            b"POST / HTTP/1.1\r\nContent-Length: 2 2\r\n\r\nok".as_slice(),
+            b"POST / HTTP/1.1\r\nContent-Length:\r\n\r\n".as_slice(),
+        ] {
+            assert_eq!(status_of(parse(raw).err().unwrap()), 400);
+        }
+    }
+
+    /// A stream that never stalls a single read but also never finishes
+    /// a request: one byte per read, forever.
+    struct Drip;
+
+    impl Read for Drip {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            std::thread::sleep(Duration::from_millis(5));
+            buf[0] = b'a';
+            Ok(1)
+        }
+    }
+
+    impl Write for Drip {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn drip_fed_request_hits_the_total_deadline() {
+        let limits = Limits {
+            max_request_duration: Duration::from_millis(50),
+            ..Limits::default()
+        };
+        let start = Instant::now();
+        let err = parse_request(&mut ConnReader::new(), &mut Drip, &limits).unwrap_err();
+        assert!(matches!(err, ParseError::Timeout), "{err:?}");
+        // Well before the 8 KiB request-line cap (~40s at this drip rate)
+        // could have fired.
+        assert!(start.elapsed() < Duration::from_secs(5));
     }
 
     #[test]

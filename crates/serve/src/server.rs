@@ -28,7 +28,9 @@ use dtucker_core::TuckerDecomp;
 use dtucker_query::SharedQueryEngine;
 use dtucker_store::{ArtifactKind, ArtifactStore};
 use std::collections::VecDeque;
+use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
@@ -45,7 +47,9 @@ pub struct ServeConfig {
     /// Bound on connections admitted but not yet picked up by a worker;
     /// beyond it the acceptor sheds with `503`.
     pub max_inflight: usize,
-    /// Per-connection socket read timeout (slowloris defense).
+    /// Per-connection socket read timeout: caps how long a single read
+    /// may stall. The slowloris backstop is `limits.max_request_duration`,
+    /// which caps the *whole* request regardless of per-read progress.
     pub read_timeout: Duration,
     /// Per-connection socket write timeout.
     pub write_timeout: Duration,
@@ -238,13 +242,20 @@ impl Server {
                     }
                     app.metrics.record_connection();
                     if let Err(stream) = queue.push(stream) {
-                        shed(&app, &cfg, stream);
+                        shed(&app, stream);
                     }
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                     std::thread::sleep(Duration::from_millis(2));
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) if transient_accept_error(&e) => {
+                    // FD exhaustion and aborted handshakes are load
+                    // conditions — the very thing a shedding server must
+                    // survive. Back off briefly and keep accepting.
+                    eprintln!("dtucker-serve: transient accept error: {e}");
+                    std::thread::sleep(Duration::from_millis(100));
+                }
                 Err(e) => {
                     queue.close();
                     for w in workers {
@@ -267,20 +278,56 @@ impl Server {
     }
 }
 
+/// Accept errors caused by the peer or by load — aborted handshakes and
+/// resource exhaustion (`EMFILE`/`ENFILE`/`ENOBUFS`) — rather than by a
+/// broken listener. Shutting down on these would turn an overload spike
+/// into an outage, so the accept loop logs and keeps going instead.
+fn transient_accept_error(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::OutOfMemory
+    ) || matches!(e.raw_os_error(), Some(23 | 24 | 105)) // ENFILE, EMFILE, ENOBUFS (Linux)
+}
+
 /// Answers one over-capacity connection with `503` + `Retry-After` and
-/// closes it. Runs on the acceptor, so it must not block long: the write
-/// timeout caps it.
-fn shed(app: &App, cfg: &ServeConfig, mut stream: TcpStream) {
+/// closes it. Runs on the acceptor, so it must never block on the peer:
+/// the write is nonblocking and best-effort — a shed client that refuses
+/// to read loses the response body, not the acceptor's time.
+fn shed(app: &App, mut stream: TcpStream) {
     app.metrics.record_shed();
-    let _ = stream.set_write_timeout(Some(cfg.write_timeout));
     let mut resp = Response::error(503, "server at capacity, retry shortly");
     resp.retry_after = Some(1);
-    let _ = write_response(&mut stream, &resp, false);
+    let mut buf = Vec::new();
+    let _ = write_response(&mut buf, &resp, false); // writing to a Vec cannot fail
+                                                    // On a nonblocking socket write_all cannot stall: a full send buffer
+                                                    // surfaces as WouldBlock, and the peer simply loses the body.
+    let _ = stream.set_nonblocking(true);
+    let _ = stream.write_all(&buf);
+}
+
+/// Worker-side wrapper around the keep-alive loop: keeps the in-flight
+/// gauge balanced and contains panics. A handler bug must cost one
+/// connection, not one worker — a panic escaping to the worker thread
+/// would permanently shrink the pool until no requests are served at
+/// all. Every lock reachable from here is poison-tolerant, so resuming
+/// after a panic is sound.
+fn serve_connection(app: &App, worker: usize, cfg: &ServeConfig, stream: TcpStream) {
+    app.metrics.connection_started();
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        drive_connection(app, worker, cfg, stream)
+    }));
+    if outcome.is_err() {
+        eprintln!(
+            "dtucker-serve: worker {worker} recovered from a panic while serving a connection"
+        );
+    }
+    app.metrics.connection_finished();
 }
 
 /// The per-connection keep-alive loop.
-fn serve_connection(app: &App, worker: usize, cfg: &ServeConfig, mut stream: TcpStream) {
-    app.metrics.connection_started();
+fn drive_connection(app: &App, worker: usize, cfg: &ServeConfig, mut stream: TcpStream) {
     let _ = stream.set_read_timeout(Some(cfg.read_timeout));
     let _ = stream.set_write_timeout(Some(cfg.write_timeout));
     let _ = stream.set_nodelay(true);
@@ -318,5 +365,4 @@ fn serve_connection(app: &App, worker: usize, cfg: &ServeConfig, mut stream: Tcp
             }
         }
     }
-    app.metrics.connection_finished();
 }

@@ -247,12 +247,75 @@ fn slowloris_is_cut_off_by_the_read_timeout() {
 }
 
 #[test]
+fn batch_route_collision_cannot_kill_the_worker_pool() {
+    // Regression: "POST /q/batch" both starts with "/q/" and ends with
+    // "/batch"; the old route used index slicing and panicked, and each
+    // panic permanently killed one worker — `threads` requests was a
+    // full remote DoS. The route must answer 404 and the pool must stay
+    // intact well past the worker count.
+    let running = start(ServeConfig {
+        threads: 2,
+        ..ServeConfig::default()
+    });
+    for _ in 0..4 {
+        let resp = roundtrip(
+            running.addr,
+            b"POST /q/batch HTTP/1.1\r\nConnection: close\r\nContent-Length: 6\r\n\r\n1,1,1\n",
+        );
+        assert_eq!(status_of(&resp), 404, "{resp}");
+    }
+    assert_eq!(status_of(&get_close(running.addr, "/health")), 200);
+    stop(running);
+}
+
+#[test]
+fn drip_fed_slowloris_hits_the_request_deadline() {
+    // Each byte lands well inside the per-read socket timeout, so only
+    // the per-request wall-clock deadline can cut this client off.
+    let running = start(ServeConfig {
+        threads: 1,
+        read_timeout: Duration::from_secs(5),
+        limits: Limits {
+            max_request_duration: Duration::from_millis(400),
+            ..Limits::default()
+        },
+        ..ServeConfig::default()
+    });
+    let mut s = TcpStream::connect(running.addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let mut w = s.try_clone().unwrap();
+    let writer = std::thread::spawn(move || {
+        for _ in 0..400 {
+            if w.write_all(b"x").is_err() {
+                break; // server closed on us — the expected outcome
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    });
+    let started = std::time::Instant::now();
+    let mut out = Vec::new();
+    s.read_to_end(&mut out).unwrap();
+    let resp = String::from_utf8(out).unwrap();
+    assert!(resp.starts_with("HTTP/1.1 408"), "{resp}");
+    assert!(
+        started.elapsed() < Duration::from_secs(4),
+        "deadline not enforced: took {:?}",
+        started.elapsed()
+    );
+    writer.join().unwrap();
+    // The worker is free again and the server healthy.
+    assert_eq!(status_of(&get_close(running.addr, "/health")), 200);
+    stop(running);
+}
+
+#[test]
 fn hostile_requests_get_4xx_not_a_dead_server() {
     let limits = Limits {
         max_request_line: 128,
         max_header_count: 8,
         max_header_bytes: 256,
         max_body_bytes: 64,
+        ..Limits::default()
     };
     let running = start(ServeConfig {
         limits,
